@@ -1,0 +1,77 @@
+// Simulator performance (google-benchmark).
+//
+// The paper reports its SystemC model simulating the 0.48 s four-device
+// creation scenario in 10'47" of CPU time -- 747 Bluetooth clock cycles
+// (1 MHz symbol clock) per wall-clock second. This bench measures the
+// same figure for this kernel, plus the raw scheduler throughput.
+#include <benchmark/benchmark.h>
+
+#include "core/system.hpp"
+#include "sim/clock.hpp"
+#include "sim/environment.hpp"
+
+namespace {
+
+using namespace btsc;
+using namespace btsc::sim::literals;
+
+/// The paper's scenario: 4 devices, 0.48 s of simulated time during
+/// piconet creation. Reports simulated 1 MHz clock cycles per second.
+void BM_PaperScenario480ms(benchmark::State& state) {
+  for (auto _ : state) {
+    core::SystemConfig sc;
+    sc.num_slaves = 3;
+    sc.seed = 7;
+    sc.lc.inquiry_timeout_slots = 65000;
+    core::BluetoothSystem sys(sc);
+    // Start the creation (inquiry + scans) and run 0.48 s of sim time.
+    for (int i = 0; i < 3; ++i) sys.slave(i).lc().enable_inquiry_scan();
+    sys.master().lc().enable_inquiry();
+    sys.run(480_ms);
+    benchmark::DoNotOptimize(sys.env().process_activations());
+  }
+  // 0.48 s at 1 MHz = 480000 simulated clock cycles per iteration.
+  state.counters["sim_clock_cycles_per_s"] = benchmark::Counter(
+      480e3 * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PaperScenario480ms)->Unit(benchmark::kMillisecond);
+
+/// Raw kernel: one self-rescheduling timer (event-queue throughput).
+void BM_TimerChain(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Environment env;
+    std::uint64_t count = 0;
+    std::function<void()> tick = [&] {
+      if (++count < 100000) env.schedule(1_us, tick);
+    };
+    env.schedule(1_us, tick);
+    env.run_until(sim::SimTime::sec(10));
+    benchmark::DoNotOptimize(count);
+  }
+  state.counters["events_per_s"] = benchmark::Counter(
+      1e5 * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TimerChain)->Unit(benchmark::kMillisecond);
+
+/// Signal-driven process chain (delta-cycle throughput).
+void BM_ClockedProcess(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Environment env;
+    sim::Clock clk(env, "clk", 1_us);
+    std::uint64_t ticks = 0;
+    auto& p = env.register_process("count", [&] { ++ticks; });
+    clk.posedge_event().add_sensitive(p);
+    env.run_until(sim::SimTime::ms(100));
+    benchmark::DoNotOptimize(ticks);
+  }
+  state.counters["posedges_per_s"] = benchmark::Counter(
+      1e5 * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ClockedProcess)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

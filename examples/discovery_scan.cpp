@@ -1,0 +1,50 @@
+// Device discovery under interference.
+//
+// The paper's Section 3.1 workload from an application's viewpoint: scan
+// for nearby devices with the standard 1.28 s timeout, retrying until all
+// are found, first on a clean channel and then on a noisy one. Prints
+// per-attempt results and writes discovery.vcd for waveform inspection.
+//
+//   $ ./discovery_scan
+#include <cstdio>
+
+#include "core/system.hpp"
+
+int main() {
+  using namespace btsc;
+  using namespace btsc::sim::literals;
+
+  for (const double ber : {0.0, 1.0 / 60.0}) {
+    std::printf("=== channel BER %s ===\n",
+                ber == 0.0 ? "0 (clean)" : "1/60 (noisy)");
+    core::SystemConfig config;
+    config.num_slaves = 3;
+    config.seed = 21;
+    config.ber = ber;
+    // The paper's application-layer timeout: 1.28 s per attempt.
+    config.lc.inquiry_timeout_slots = 2048;
+    if (ber == 0.0) config.vcd_path = "discovery.vcd";
+    core::BluetoothSystem net(config);
+
+    int found_total = 0;
+    for (int attempt = 1; attempt <= 8; ++attempt) {
+      const auto r = net.run_inquiry();
+      const int found =
+          static_cast<int>(net.master().lc().discovered().size());
+      std::printf(
+          "attempt %d: %-9s %4llu slots, %d/3 devices known\n", attempt,
+          r.success ? "complete," : "timeout,",
+          static_cast<unsigned long long>(r.slots), found);
+      found_total = found;
+      if (found_total >= 3) break;
+    }
+    for (const auto& d : net.master().lc().discovered()) {
+      std::printf("  found %s (clock offset %u ticks)\n",
+                  d.addr.to_string().c_str(), d.clkn_offset);
+    }
+    if (ber == 0.0) net.finish_trace();
+    std::printf("\n");
+  }
+  std::printf("waveform written to discovery.vcd\n");
+  return 0;
+}

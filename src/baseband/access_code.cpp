@@ -1,0 +1,88 @@
+#include "baseband/access_code.hpp"
+
+#include <bit>
+
+namespace btsc::baseband {
+namespace {
+
+// 64-bit PN (pseudo-random noise) sequence XORed over the BCH codeword
+// (spec part B, access code construction). Bit 0 = first on air.
+constexpr std::uint64_t kPnSequence = 0x83848D96BBCC54FCull;
+
+// Generator polynomial of the (64,30) expurgated BCH code, degree 34
+// (octal 260534236651 in the specification).
+constexpr std::uint64_t kBchGenerator = 0260534236651ull;
+
+/// Barker extension appended to the LAP to form the 30 information bits:
+/// 001101b when LAP bit 23 is 0, 110010b otherwise (guarantees good
+/// autocorrelation at the sync word edges).
+constexpr std::uint32_t barker_for(std::uint32_t lap) {
+  return ((lap >> 23) & 1u) ? 0b110010u : 0b001101u;
+}
+
+}  // namespace
+
+sim::BitVector sync_word(std::uint32_t lap) {
+  lap &= 0xFFFFFFu;
+  // 30 information bits: LAP (bits 0..23) then Barker extension (24..29).
+  const std::uint64_t info =
+      static_cast<std::uint64_t>(lap) |
+      (static_cast<std::uint64_t>(barker_for(lap)) << 24);
+  // Scramble the information with the upper 30 PN bits before encoding.
+  const std::uint64_t info_tilde = info ^ (kPnSequence >> 34);
+  // Systematic BCH: codeword = info * D^34 + (info * D^34 mod g).
+  std::uint64_t reg = info_tilde << 34;
+  for (int bit = 63; bit >= 34; --bit) {
+    if ((reg >> bit) & 1u) {
+      reg ^= kBchGenerator << (bit - 34);
+    }
+  }
+  const std::uint64_t parity = reg;  // degree < 34
+  const std::uint64_t codeword = (info_tilde << 34) | parity;
+  // Unscramble the whole word with the PN sequence.
+  const std::uint64_t word = codeword ^ kPnSequence;
+  sim::BitVector out;
+  out.append_uint(word, 64);
+  return out;
+}
+
+sim::BitVector access_code(std::uint32_t lap, bool with_trailer) {
+  const sim::BitVector sync = sync_word(lap);
+  sim::BitVector out;
+  // Preamble 0101/1010: alternating pattern ending opposite to the first
+  // sync bit, so the edge keeps alternating into the sync word.
+  const bool first = sync[0];
+  for (int i = 0; i < 4; ++i) out.push_back(first ? !(i % 2) : (i % 2));
+  out.append(sync);
+  if (with_trailer) {
+    // Trailer extends the alternation after the last sync bit.
+    const bool last = sync[kSyncWordBits - 1];
+    for (int i = 0; i < 4; ++i) out.push_back(last ? (i % 2 == 0 ? 0 : 1)
+                                                   : (i % 2 == 0 ? 1 : 0));
+  }
+  return out;
+}
+
+Correlator::Correlator(const sim::BitVector& sync) {
+  for (std::size_t i = 0; i < kSyncWordBits; ++i) {
+    if (sync[i]) expected_ |= 1ull << i;
+  }
+}
+
+bool Correlator::push(bool bit) {
+  window_ = (window_ >> 1) | (static_cast<std::uint64_t>(bit) << 63);
+  ++bits_seen_;
+  if (bits_seen_ < kSyncWordBits) return false;
+  // window_ bit 63 holds the newest bit; air bit i of the candidate sync
+  // word sits at position i after the shift history aligns.
+  const int matches =
+      64 - std::popcount(window_ ^ (expected_ << 0));
+  return matches >= kSyncCorrelationThreshold;
+}
+
+void Correlator::reset() {
+  window_ = 0;
+  bits_seen_ = 0;
+}
+
+}  // namespace btsc::baseband

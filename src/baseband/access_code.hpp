@@ -1,0 +1,65 @@
+// Access code construction and sync-word correlation.
+//
+// Every packet starts with an access code derived from a LAP: the channel
+// access code (CAC, master's LAP) in connection state, the device access
+// code (DAC, paged slave's LAP) during paging, and the inquiry access
+// codes (GIAC/DIAC) during inquiry.
+//
+// The 64-bit sync word embeds the 24-bit LAP in a (64,30) expurgated BCH
+// block code XORed with a fixed 64-bit PN sequence, giving large Hamming
+// distance between sync words of different LAPs and strong resistance to
+// false triggers on noise. A 4-bit preamble precedes the sync word and a
+// 4-bit trailer follows it whenever a header comes next:
+//
+//   ID packet          : preamble(4) + sync(64)              = 68 bits
+//   packet with header : preamble(4) + sync(64) + trailer(4) = 72 bits
+//
+// The receiver correlates the incoming bit stream against the expected
+// sync word and triggers when at least `kSyncCorrelationThreshold` of the
+// 64 positions match (spec-like sliding correlator).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/bitvector.hpp"
+
+namespace btsc::baseband {
+
+/// Correlator acceptance threshold: a window matches when at least this
+/// many of the 64 sync bits agree (54 allows up to 10 bit errors, the
+/// customary choice for Bluetooth correlators).
+inline constexpr int kSyncCorrelationThreshold = 54;
+
+inline constexpr std::size_t kSyncWordBits = 64;
+inline constexpr std::size_t kIdPacketBits = 68;     // preamble + sync
+inline constexpr std::size_t kAccessCodeBits = 72;   // + trailer
+
+/// 64-bit sync word for a LAP ((64,30) BCH codeword XOR PN sequence).
+/// Bit 0 of the result is the first bit on air.
+sim::BitVector sync_word(std::uint32_t lap);
+
+/// Full access code: preamble + sync word, plus trailer when
+/// `with_trailer` (packets that carry a header).
+sim::BitVector access_code(std::uint32_t lap, bool with_trailer);
+
+/// Sliding sync-word correlator fed one bit at a time.
+class Correlator {
+ public:
+  explicit Correlator(const sim::BitVector& sync);
+
+  /// Shifts one received bit in; returns true when the window correlates
+  /// above threshold (sync detected at this bit position).
+  bool push(bool bit);
+
+  /// Bits observed since construction or reset.
+  std::uint64_t bits_seen() const { return bits_seen_; }
+
+  void reset();
+
+ private:
+  std::uint64_t expected_ = 0;  // sync bits packed, bit i = air bit i
+  std::uint64_t window_ = 0;
+  std::uint64_t bits_seen_ = 0;
+};
+
+}  // namespace btsc::baseband

@@ -1,0 +1,13 @@
+#include "baseband/address.hpp"
+
+#include <cstdio>
+
+namespace btsc::baseband {
+
+std::string BdAddr::to_string() const {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%04X:%02X:%06X", nap_, uap_, lap_);
+  return buf;
+}
+
+}  // namespace btsc::baseband

@@ -1,0 +1,22 @@
+#include "baseband/bt_clock.hpp"
+
+namespace btsc::baseband {
+
+NativeClock::NativeClock(sim::Environment& env, std::string name,
+                         std::uint32_t initial,
+                         sim::SimTime first_tick_delay)
+    : Module(env, std::move(name)),
+      clkn_(initial & kClockMask),
+      tick_(env, child_name("tick")) {
+  env.schedule(first_tick_delay, [this] { tick(); });
+}
+
+void NativeClock::tick() {
+  clkn_ = (clkn_ + 1u) & kClockMask;
+  last_tick_ = env().now();
+  ++tick_count_;
+  tick_.notify_delta();
+  env().schedule(kTickPeriod, [this] { tick(); });
+}
+
+}  // namespace btsc::baseband

@@ -1,0 +1,65 @@
+// The Bluetooth native clock (CLKN).
+//
+// A free-running 28-bit counter ticking at 3.2 kHz (every 312.5 us), i.e.
+// twice per 625 us time slot: bit 0 distinguishes the two half slots, bit
+// 1 the master-to-slave vs slave-to-master slot, and the counter wraps
+// roughly once a day. Every device owns an independent CLKN with its own
+// start value; the piconet clock CLK of a slave is CLKN plus an offset
+// learned during paging.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/event.hpp"
+#include "sim/module.hpp"
+#include "sim/time.hpp"
+
+namespace btsc::baseband {
+
+inline constexpr std::uint32_t kClockMask = 0x0FFFFFFFu;  // 28 bits
+/// Native clock tick period: 312.5 us (half a time slot).
+inline constexpr sim::SimTime kTickPeriod = sim::SimTime::ns(312'500);
+/// One time slot: 625 us.
+inline constexpr sim::SimTime kSlotDuration = sim::SimTime::us(625);
+
+class NativeClock final : public sim::Module {
+ public:
+  /// The counter starts at `initial`; the first increment fires after
+  /// `first_tick_delay` (use a random phase to model unsynchronised
+  /// devices; must be < kTickPeriod for a sensible phase).
+  NativeClock(sim::Environment& env, std::string name,
+              std::uint32_t initial = 0,
+              sim::SimTime first_tick_delay = kTickPeriod);
+
+  /// Current native clock value (updated just before tick_event fires).
+  std::uint32_t clkn() const { return clkn_; }
+
+  /// Value of CLKN bit `i`.
+  bool bit(int i) const { return (clkn_ >> i) & 1u; }
+
+  /// Notified on every tick, after clkn() has been incremented.
+  sim::Event& tick_event() { return tick_; }
+
+  /// Simulation time of the most recent tick (start of current half slot).
+  sim::SimTime last_tick_time() const { return last_tick_; }
+
+  std::uint64_t ticks() const { return tick_count_; }
+
+ private:
+  void tick();
+
+  std::uint32_t clkn_;
+  sim::Event tick_;
+  sim::SimTime last_tick_ = sim::SimTime::zero();
+  std::uint64_t tick_count_ = 0;
+};
+
+/// Signed clock arithmetic helper: offset such that
+/// (clkn + offset) & mask == target.
+constexpr std::uint32_t clock_offset(std::uint32_t clkn,
+                                     std::uint32_t target) {
+  return (target - clkn) & kClockMask;
+}
+
+}  // namespace btsc::baseband

@@ -1,0 +1,37 @@
+#include "baseband/crc.hpp"
+
+namespace btsc::baseband {
+namespace {
+
+constexpr std::uint16_t kCrcPolyLow = 0x1021;  // D^12 + D^5 + 1 below D^16
+
+std::uint16_t feed(std::uint16_t reg, bool bit) {
+  const bool feedback = ((reg >> 15) & 1u) != static_cast<std::uint16_t>(bit);
+  reg = static_cast<std::uint16_t>(reg << 1);
+  if (feedback) reg ^= kCrcPolyLow;
+  return reg;
+}
+
+}  // namespace
+
+std::uint16_t crc16_compute(const sim::BitVector& bits, std::uint8_t uap) {
+  auto reg = static_cast<std::uint16_t>(uap << 8);
+  for (std::size_t i = 0; i < bits.size(); ++i) reg = feed(reg, bits[i]);
+  return reg;
+}
+
+std::uint16_t crc16_compute(const std::vector<std::uint8_t>& bytes,
+                            std::uint8_t uap) {
+  auto reg = static_cast<std::uint16_t>(uap << 8);
+  for (std::uint8_t byte : bytes) {
+    for (unsigned i = 0; i < 8; ++i) reg = feed(reg, (byte >> i) & 1u);
+  }
+  return reg;
+}
+
+bool crc16_check(const std::vector<std::uint8_t>& bytes, std::uint8_t uap,
+                 std::uint16_t crc) {
+  return crc16_compute(bytes, uap) == crc;
+}
+
+}  // namespace btsc::baseband

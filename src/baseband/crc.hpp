@@ -1,0 +1,25 @@
+// Payload CRC.
+//
+// CRC-16/CCITT, g(D) = D^16 + D^12 + D^5 + 1, initialised with the UAP in
+// the most significant byte of the register (spec: UAP appended with 8
+// zero bits). Appended to every payload-bearing packet (DM*, DH*, FHS).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/bitvector.hpp"
+
+namespace btsc::baseband {
+
+/// CRC over a bit sequence in transmission order.
+std::uint16_t crc16_compute(const sim::BitVector& bits, std::uint8_t uap);
+
+/// CRC over bytes (each byte transmitted LSB first).
+std::uint16_t crc16_compute(const std::vector<std::uint8_t>& bytes,
+                            std::uint8_t uap);
+
+bool crc16_check(const std::vector<std::uint8_t>& bytes, std::uint8_t uap,
+                 std::uint16_t crc);
+
+}  // namespace btsc::baseband

@@ -1,0 +1,24 @@
+#include "baseband/device.hpp"
+
+#include <stdexcept>
+
+namespace btsc::baseband {
+
+Device::Device(sim::Environment& env, std::string name,
+               const DeviceConfig& config, phy::NoisyChannel& channel)
+    : Module(env, std::move(name)),
+      config_(config),
+      clock_(env, child_name("clkn"), config.clkn_init, config.clkn_phase),
+      radio_(env, this->name(), channel),
+      receiver_(env, child_name("rx")),
+      lc_(env, child_name("lc"), config.addr, clock_, radio_, receiver_,
+          config.lc) {
+  if (config.clkn_phase.as_ns() % 1000 != 0) {
+    throw std::invalid_argument(
+        "Device: clkn_phase must be a whole number of microseconds");
+  }
+  radio_.set_rx_sink(
+      [this](phy::Logic4 sample) { receiver_.on_bit(sample); });
+}
+
+}  // namespace btsc::baseband

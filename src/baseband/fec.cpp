@@ -1,0 +1,143 @@
+#include "baseband/fec.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace btsc::baseband {
+namespace {
+
+// g(D) = D^5 + D^4 + D^2 + 1 -> 110101b.
+constexpr std::uint8_t kGenPoly = 0b110101;
+constexpr unsigned kParityBits = 5;
+
+}  // namespace
+
+sim::BitVector fec13_encode(const sim::BitVector& data) {
+  sim::BitVector out;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const bool b = data[i];
+    out.push_back(b);
+    out.push_back(b);
+    out.push_back(b);
+  }
+  return out;
+}
+
+sim::BitVector fec13_decode(const sim::BitVector& coded) {
+  if (coded.size() % 3 != 0) {
+    throw std::invalid_argument("fec13_decode: size not a multiple of 3");
+  }
+  sim::BitVector out;
+  for (std::size_t i = 0; i < coded.size(); i += 3) {
+    const int sum = coded[i] + coded[i + 1] + coded[i + 2];
+    out.push_back(sum >= 2);
+  }
+  return out;
+}
+
+std::uint16_t fec23_encode_block(std::uint16_t data10) {
+  data10 &= 0x3FF;
+  // Systematic encoding: codeword = data(D)*D^5 + remainder.
+  std::uint32_t reg = static_cast<std::uint32_t>(data10) << kParityBits;
+  for (int bit = kFec23BlockBits - 1; bit >= static_cast<int>(kParityBits);
+       --bit) {
+    if ((reg >> bit) & 1u) {
+      reg ^= static_cast<std::uint32_t>(kGenPoly) << (bit - kParityBits);
+    }
+  }
+  const auto parity = static_cast<std::uint16_t>(reg & 0x1F);
+  return static_cast<std::uint16_t>((data10 << kParityBits) | parity);
+}
+
+namespace {
+
+/// Syndrome of a received 15-bit block (0 == no detected error).
+std::uint8_t syndrome_of(std::uint16_t block15) {
+  std::uint32_t reg = block15;
+  for (int bit = kFec23BlockBits - 1; bit >= static_cast<int>(kParityBits);
+       --bit) {
+    if ((reg >> bit) & 1u) {
+      reg ^= static_cast<std::uint32_t>(kGenPoly) << (bit - kParityBits);
+    }
+  }
+  return static_cast<std::uint8_t>(reg & 0x1F);
+}
+
+/// syndrome -> bit index (0..14), or -1 for "not a single-bit pattern".
+/// Built once from the code definition itself.
+const std::array<int, 32>& syndrome_table() {
+  static const std::array<int, 32> table = [] {
+    std::array<int, 32> t{};
+    t.fill(-1);
+    for (int pos = 0; pos < static_cast<int>(kFec23BlockBits); ++pos) {
+      const auto err = static_cast<std::uint16_t>(1u << pos);
+      t[syndrome_of(err)] = pos;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+sim::BitVector fec23_encode(const sim::BitVector& data) {
+  sim::BitVector out;
+  for (std::size_t pos = 0; pos < data.size(); pos += kFec23DataBits) {
+    std::uint16_t block = 0;
+    for (std::size_t i = 0; i < kFec23DataBits; ++i) {
+      if (pos + i < data.size() && data[pos + i]) {
+        block |= static_cast<std::uint16_t>(1u << i);
+      }
+    }
+    // Air order: the 10 information bits first (LSB first), then parity.
+    const std::uint16_t coded = fec23_encode_block(block);
+    for (std::size_t i = 0; i < kFec23DataBits; ++i) {
+      out.push_back((block >> i) & 1u);
+    }
+    for (unsigned i = 0; i < kParityBits; ++i) {
+      out.push_back((coded >> (kParityBits - 1 - i)) & 1u);
+    }
+  }
+  return out;
+}
+
+Fec23Result fec23_decode(const sim::BitVector& coded) {
+  if (coded.size() % kFec23BlockBits != 0) {
+    throw std::invalid_argument("fec23_decode: size not a multiple of 15");
+  }
+  Fec23Result result;
+  for (std::size_t pos = 0; pos < coded.size(); pos += kFec23BlockBits) {
+    // Reassemble the block in polynomial order (data MSB..LSB, parity).
+    std::uint16_t data10 = 0;
+    for (std::size_t i = 0; i < kFec23DataBits; ++i) {
+      if (coded[pos + i]) data10 |= static_cast<std::uint16_t>(1u << i);
+    }
+    std::uint8_t parity = 0;
+    for (unsigned i = 0; i < kParityBits; ++i) {
+      if (coded[pos + kFec23DataBits + i]) {
+        parity |= static_cast<std::uint8_t>(1u << (kParityBits - 1 - i));
+      }
+    }
+    std::uint16_t block =
+        static_cast<std::uint16_t>((data10 << kParityBits) | parity);
+    const std::uint8_t syn = syndrome_of(block);
+    if (syn != 0) {
+      const int pos_in_block = syndrome_table()[syn];
+      if (pos_in_block < 0) {
+        result.failed = true;
+      } else {
+        block = static_cast<std::uint16_t>(
+            block ^ static_cast<std::uint16_t>(1u << pos_in_block));
+        ++result.corrected_blocks;
+      }
+    }
+    const auto fixed_data =
+        static_cast<std::uint16_t>((block >> kParityBits) & 0x3FF);
+    for (std::size_t i = 0; i < kFec23DataBits; ++i) {
+      result.data.push_back((fixed_data >> i) & 1u);
+    }
+  }
+  return result;
+}
+
+}  // namespace btsc::baseband

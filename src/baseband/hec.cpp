@@ -1,0 +1,36 @@
+#include "baseband/hec.hpp"
+
+namespace btsc::baseband {
+namespace {
+
+// g(D) = D^8 + D^7 + D^5 + D^2 + D + 1; the low eight coefficients
+// (D^7..D^0) are 1010'0111b.
+constexpr std::uint8_t kHecPolyLow = 0xA7;
+
+std::uint8_t feed(std::uint8_t reg, bool bit) {
+  const bool feedback = ((reg >> 7) & 1u) != static_cast<std::uint8_t>(bit);
+  reg = static_cast<std::uint8_t>(reg << 1);
+  if (feedback) reg ^= kHecPolyLow;
+  return reg;
+}
+
+}  // namespace
+
+std::uint8_t hec_compute(const sim::BitVector& bits, std::uint8_t init) {
+  std::uint8_t reg = init;
+  for (std::size_t i = 0; i < bits.size(); ++i) reg = feed(reg, bits[i]);
+  return reg;
+}
+
+std::uint8_t hec_compute10(std::uint16_t header10, std::uint8_t init) {
+  std::uint8_t reg = init;
+  for (unsigned i = 0; i < 10; ++i) reg = feed(reg, (header10 >> i) & 1u);
+  return reg;
+}
+
+bool hec_check(const sim::BitVector& bits, std::uint8_t init,
+               std::uint8_t hec) {
+  return hec_compute(bits, init) == hec;
+}
+
+}  // namespace btsc::baseband

@@ -1,0 +1,26 @@
+// Header error check (HEC).
+//
+// 8-bit LFSR with generator g(D) = D^8 + D^7 + D^5 + D^2 + D + 1,
+// initialised with the UAP of the device whose access code precedes the
+// header (the DCI, 0x00, during inquiry). Covers the 10 header info bits
+// (LT_ADDR, TYPE, FLOW, ARQN, SEQN), fed in transmission order.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/bitvector.hpp"
+
+namespace btsc::baseband {
+
+/// Computes the HEC over `bits` (transmission order) with the given
+/// initialisation byte.
+std::uint8_t hec_compute(const sim::BitVector& bits, std::uint8_t init);
+
+/// Convenience for the 10-bit packed header value (bit 0 first on air).
+std::uint8_t hec_compute10(std::uint16_t header10, std::uint8_t init);
+
+/// Verifies that `hec` matches the data; equivalent to recomputation.
+bool hec_check(const sim::BitVector& bits, std::uint8_t init,
+               std::uint8_t hec);
+
+}  // namespace btsc::baseband

@@ -1,0 +1,250 @@
+#include "baseband/receiver.hpp"
+
+#include "baseband/crc.hpp"
+#include "baseband/fec.hpp"
+#include "baseband/hec.hpp"
+#include "baseband/whitening.hpp"
+
+namespace btsc::baseband {
+namespace {
+
+/// The last sync-word bit is air bit 67 for both ID packets and full
+/// access codes; it is sampled a quarter bit into its period, 67.25 us
+/// after the packet started (exact for even-half-slot transmissions,
+/// +0.5 us for odd-half-slot ones -- well inside all window margins).
+constexpr sim::SimTime kSyncEndOffset = sim::SimTime::ns(67'250);
+
+}  // namespace
+
+Receiver::Receiver(sim::Environment& env, std::string name)
+    : env_(env), name_(std::move(name)) {}
+
+void Receiver::configure(const sim::BitVector& sync_word,
+                         std::uint8_t check_init,
+                         std::optional<std::uint8_t> whiten_init,
+                         Expect expect) {
+  sync_word_ = sync_word;
+  correlator_.emplace(sync_word_);
+  check_init_ = check_init;
+  whiten_init_ = whiten_init;
+  expect_ = expect;
+  reset();
+}
+
+void Receiver::reset() {
+  phase_ = Phase::kSearch;
+  if (correlator_) correlator_->reset();
+  collected_ = sim::BitVector();
+  payload_data_bits_ = sim::BitVector();
+  payload_total_coded_bits_ = 0;
+  payload_body_bytes_ = 0;
+  payload_fec_failed_ = false;
+}
+
+void Receiver::on_bit(phy::Logic4 sample) {
+  if (!correlator_) return;  // not configured yet
+  if (sample != phy::Logic4::kZ) ++carrier_samples_;
+  bool bit;
+  switch (sample) {
+    case phy::Logic4::kZero:
+      bit = false;
+      break;
+    case phy::Logic4::kOne:
+      bit = true;
+      break;
+    case phy::Logic4::kZ:
+      bit = false;  // no carrier: the demodulator slices noise floor
+      break;
+    default:  // collision: garbled symbol
+      bit = env_.rng().bernoulli(0.5);
+      break;
+  }
+
+  switch (phase_) {
+    case Phase::kSearch:
+      if (correlator_->push(bit)) on_sync_found();
+      break;
+    case Phase::kTrailer:
+      collected_.push_back(bit);
+      if (collected_.size() == 4) {
+        collected_ = sim::BitVector();
+        phase_ = Phase::kHeader;
+      }
+      break;
+    case Phase::kHeader:
+      collected_.push_back(bit);
+      if (collected_.size() == 54) finish_header();
+      break;
+    case Phase::kPayload:
+      collected_.push_back(bit);
+      if (is_fec23(header_.type)) {
+        if (collected_.size() % kFec23BlockBits == 0) {
+          const auto block = collected_.slice(
+              collected_.size() - kFec23BlockBits, kFec23BlockBits);
+          auto decoded = fec23_decode(block);
+          if (decoded.failed) {
+            payload_fec_failed_ = true;
+            ++fec_failures_;
+          }
+          if (whitener_) whitener_->apply(decoded.data);
+          payload_data_bits_.append(decoded.data);
+        }
+      } else {
+        bool data_bit = bit;
+        if (whitener_ && whitener_->next()) data_bit = !data_bit;
+        payload_data_bits_.push_back(data_bit);
+      }
+      // Resolve the total length once the payload header is decodable.
+      if (payload_total_coded_bits_ == 0) {
+        const std::size_t need = 8 * payload_header_bytes(header_.type);
+        if (need > 0 && payload_data_bits_.size() >= need) {
+          std::uint16_t length = 0;
+          if (need == 8) {
+            length = static_cast<std::uint16_t>(
+                (payload_data_bits_.extract_uint(0, 8) >> 3) & 0x1Fu);
+          } else {
+            const auto two = payload_data_bits_.extract_uint(0, 16);
+            length = static_cast<std::uint16_t>(((two >> 3) & 0x1Fu) |
+                                                (((two >> 8) & 0x0Fu) << 5));
+          }
+          if (length > max_user_bytes(header_.type) || payload_fec_failed_) {
+            // Corrupt length field: we cannot frame the payload. Report a
+            // failed packet rather than reading a bogus bit count.
+            Result r;
+            r.header = header_;
+            r.header_ok = true;
+            r.fec_failed = payload_fec_failed_;
+            r.packet_start = sync_done_time_ - kSyncEndOffset;
+            ++crc_failures_;
+            deliver(r);
+            reset();
+            return;
+          }
+          payload_body_bytes_ =
+              payload_header_bytes(header_.type) + length +
+              (has_crc(header_.type) ? 2u : 0u);
+          const std::size_t data_bits = 8 * payload_body_bytes_;
+          payload_total_coded_bits_ =
+              is_fec23(header_.type)
+                  ? (data_bits + kFec23DataBits - 1) / kFec23DataBits *
+                        kFec23BlockBits
+                  : data_bits;
+        }
+      }
+      if (payload_total_coded_bits_ != 0 &&
+          collected_.size() >= payload_total_coded_bits_) {
+        on_payload_complete();
+      }
+      break;
+  }
+}
+
+void Receiver::on_sync_found() {
+  ++syncs_;
+  sync_done_time_ = env_.now();
+  if (expect_ == Expect::kIdOnly) {
+    Result r;
+    r.is_id = true;
+    r.packet_start = sync_done_time_ - kSyncEndOffset;
+    correlator_->reset();
+    deliver(r);
+    return;
+  }
+  collected_ = sim::BitVector();
+  whitener_.reset();
+  if (whiten_init_) whitener_.emplace(*whiten_init_);
+  phase_ = Phase::kTrailer;
+}
+
+void Receiver::finish_header() {
+  sim::BitVector info = fec13_decode(collected_);
+  if (whitener_) whitener_->apply(info);
+  const auto header10 = static_cast<std::uint16_t>(info.extract_uint(0, 10));
+  const auto hec = static_cast<std::uint8_t>(info.extract_uint(10, 8));
+  if (hec_compute10(header10, check_init_) != hec) {
+    ++hec_failures_;
+    Result r;
+    r.packet_start = sync_done_time_ - kSyncEndOffset;
+    deliver(r);  // header_ok == false
+    reset();
+    return;
+  }
+  header_ = PacketHeader::unpack(header10);
+  if (header_hook_ && !header_hook_(header_)) {
+    // Addressed elsewhere: the link controller told us to stop listening.
+    reset();
+    return;
+  }
+  if (!has_payload(header_.type)) {
+    Result r;
+    r.header = header_;
+    r.header_ok = true;
+    r.payload_ok = true;
+    r.packet_start = sync_done_time_ - kSyncEndOffset;
+    deliver(r);
+    reset();
+    return;
+  }
+  start_payload();
+}
+
+void Receiver::start_payload() {
+  phase_ = Phase::kPayload;
+  collected_ = sim::BitVector();
+  payload_data_bits_ = sim::BitVector();
+  payload_fec_failed_ = false;
+  payload_body_bytes_ = 0;
+  payload_total_coded_bits_ = 0;
+  if (header_.type == PacketType::kFhs) {
+    payload_body_bytes_ = kFhsBytes + 2;  // + CRC
+    payload_total_coded_bits_ =
+        (8 * payload_body_bytes_ + kFec23DataBits - 1) / kFec23DataBits *
+        kFec23BlockBits;
+  }
+}
+
+void Receiver::on_payload_complete() {
+  Result r;
+  r.header = header_;
+  r.header_ok = true;
+  r.fec_failed = payload_fec_failed_;
+  r.packet_start = sync_done_time_ - kSyncEndOffset;
+
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(payload_body_bytes_);
+  for (std::size_t i = 0; i + 8 <= payload_data_bits_.size() &&
+                          bytes.size() < payload_body_bytes_;
+       i += 8) {
+    bytes.push_back(
+        static_cast<std::uint8_t>(payload_data_bits_.extract_uint(i, 8)));
+  }
+  if (bytes.size() == payload_body_bytes_ && !payload_fec_failed_) {
+    if (has_crc(header_.type)) {
+      const auto crc = static_cast<std::uint16_t>(
+          bytes[bytes.size() - 2] |
+          (static_cast<std::uint16_t>(bytes.back()) << 8));
+      bytes.resize(bytes.size() - 2);
+      if (crc16_check(bytes, check_init_, crc)) {
+        r.payload_ok = true;
+        r.payload_body = std::move(bytes);
+      } else {
+        ++crc_failures_;
+      }
+    } else {
+      r.payload_ok = true;
+      r.payload_body = std::move(bytes);
+    }
+  } else if (payload_fec_failed_) {
+    // already counted in fec_failures_
+  } else {
+    ++crc_failures_;
+  }
+  deliver(r);
+  reset();
+}
+
+void Receiver::deliver(const Result& r) {
+  if (handler_) handler_(r);
+}
+
+}  // namespace btsc::baseband

@@ -1,0 +1,131 @@
+// Receiver: assembles packets from the sampled channel bit stream.
+//
+// The radio delivers one Logic4 sample per microsecond while the RX chain
+// is enabled; this module runs the sliding sync-word correlator and, once
+// synchronised, peels off trailer, FEC-1/3 header (HEC checked) and the
+// type-dependent payload (FEC-2/3 decoded block by block, de-whitened,
+// CRC checked). Undefined samples are tolerated: 'Z' (no carrier) reads
+// as 0 and 'X' (collision) as a random bit, modelling the garbled output
+// of a real demodulator during overlap.
+//
+// Results are pushed to a handler; a separate header hook lets the link
+// controller abort payload reception early when a packet is addressed to
+// a different slave (the paper's Fig. 5 shows exactly this RX gating).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baseband/access_code.hpp"
+#include "baseband/packet.hpp"
+#include "baseband/whitening.hpp"
+#include "phy/logic4.hpp"
+#include "sim/bitvector.hpp"
+#include "sim/environment.hpp"
+#include "sim/time.hpp"
+
+namespace btsc::baseband {
+
+class Receiver {
+ public:
+  /// What the current state machine phase expects on the air.
+  enum class Expect : std::uint8_t {
+    kIdOnly,  // bare access code (inquiry/page ID packets)
+    kFull,    // access code + header (+ payload)
+  };
+
+  struct Result {
+    bool is_id = false;        // bare ID packet detected
+    bool header_ok = false;    // HEC passed (always false for ID)
+    bool payload_ok = false;   // payload CRC passed (or no payload)
+    bool fec_failed = false;   // uncorrectable FEC 2/3 block
+    PacketHeader header;
+    /// Payload body after FEC decode and CRC strip: payload header +
+    /// user bytes for ACL packets, the 18 information bytes for FHS.
+    std::vector<std::uint8_t> payload_body;
+    /// Time the first bit of the packet hit the air (derived from the
+    /// sync completion instant).
+    sim::SimTime packet_start;
+  };
+
+  using Handler = std::function<void(const Result&)>;
+  /// Called right after a valid header; return false to abort payload
+  /// reception (packet addressed elsewhere).
+  using HeaderHook = std::function<bool(const PacketHeader&)>;
+
+  Receiver(sim::Environment& env, std::string name);
+
+  /// Arms the receiver for a sync word / link context. Resets assembly.
+  void configure(const sim::BitVector& sync_word, std::uint8_t check_init,
+                 std::optional<std::uint8_t> whiten_init, Expect expect);
+
+  void set_handler(Handler h) { handler_ = std::move(h); }
+  void set_header_hook(HeaderHook h) { header_hook_ = std::move(h); }
+
+  /// Feed one channel sample (wire this to Radio::set_rx_sink).
+  void on_bit(phy::Logic4 sample);
+
+  /// Abandons any in-progress assembly and restarts the sync search.
+  void reset();
+
+  /// True once a sync word has been found and the packet is assembling.
+  bool assembling() const { return phase_ != Phase::kSearch; }
+
+  /// Number of samples carrying a real signal (not 'Z') since the
+  /// receiver was configured. The link controller compares snapshots of
+  /// this counter for carrier sensing: an idle-slot listen window closes
+  /// after ~32.5 us when nothing but 'Z' was heard (the paper's 2.6%
+  /// active-mode RX duty).
+  std::uint64_t carrier_samples() const { return carrier_samples_; }
+
+  // ---- statistics ----
+  std::uint64_t syncs_detected() const { return syncs_; }
+  std::uint64_t hec_failures() const { return hec_failures_; }
+  std::uint64_t crc_failures() const { return crc_failures_; }
+  std::uint64_t fec_failures() const { return fec_failures_; }
+
+ private:
+  enum class Phase : std::uint8_t { kSearch, kTrailer, kHeader, kPayload };
+
+  void on_sync_found();
+  void finish_header();
+  void start_payload();
+  void on_payload_complete();
+  void deliver(const Result& r);
+
+  sim::Environment& env_;
+  std::string name_;
+
+  // configuration
+  sim::BitVector sync_word_;
+  std::optional<Correlator> correlator_;
+  std::uint8_t check_init_ = kDefaultCheckInit;
+  std::optional<std::uint8_t> whiten_init_;
+  Expect expect_ = Expect::kIdOnly;
+
+  // assembly state
+  Phase phase_ = Phase::kSearch;
+  sim::BitVector collected_;
+  sim::SimTime sync_done_time_;
+  PacketHeader header_;
+  // Whitener state continues from the header into the payload.
+  std::optional<Whitener> whitener_;
+  std::size_t payload_total_coded_bits_ = 0;  // 0 = unknown yet
+  std::size_t payload_body_bytes_ = 0;
+  sim::BitVector payload_data_bits_;  // decoded (FEC removed) payload bits
+  bool payload_fec_failed_ = false;
+
+  Handler handler_;
+  HeaderHook header_hook_;
+
+  std::uint64_t carrier_samples_ = 0;
+  std::uint64_t syncs_ = 0;
+  std::uint64_t hec_failures_ = 0;
+  std::uint64_t crc_failures_ = 0;
+  std::uint64_t fec_failures_ = 0;
+};
+
+}  // namespace btsc::baseband

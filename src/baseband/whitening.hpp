@@ -1,0 +1,49 @@
+// Data whitening (scrambling).
+//
+// Before transmission, header and payload are XORed with the output of a
+// 7-bit LFSR with polynomial g(D) = D^7 + D^4 + 1, initialised from the
+// master clock bits CLK[6:1] with the register MSB forced to 1. The same
+// operation descrambles, so whitening is an involution for a given clock.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/bitvector.hpp"
+
+namespace btsc::baseband {
+
+class Whitener {
+ public:
+  /// `init7` is the 7-bit register seed. Use from_clock() for the
+  /// spec-defined initialisation.
+  explicit Whitener(std::uint8_t init7) : reg_(init7 & 0x7Fu) {}
+
+  /// Spec initialisation: register = 1 (MSB) concatenated with CLK[6:1].
+  static Whitener from_clock(std::uint32_t clk) {
+    return Whitener(
+        static_cast<std::uint8_t>(0x40u | ((clk >> 1) & 0x3Fu)));
+  }
+
+  /// Next scrambling bit.
+  bool next() {
+    const bool out = (reg_ >> 6) & 1u;
+    const bool fb = out != static_cast<bool>((reg_ >> 3) & 1u);
+    reg_ = static_cast<std::uint8_t>(((reg_ << 1) & 0x7Fu) | fb);
+    return out;
+  }
+
+  /// XORs the stream onto `bits` in place, starting from the current
+  /// register state.
+  void apply(sim::BitVector& bits) {
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+      if (next()) bits.flip(i);
+    }
+  }
+
+  std::uint8_t state() const { return reg_; }
+
+ private:
+  std::uint8_t reg_;
+};
+
+}  // namespace btsc::baseband

@@ -1,0 +1,93 @@
+#include "core/coexistence.hpp"
+
+#include <optional>
+
+#include "baseband/bt_clock.hpp"
+
+namespace btsc::core {
+
+using namespace btsc::sim::literals;
+using baseband::BdAddr;
+using baseband::Device;
+using baseband::DeviceConfig;
+using baseband::kClockMask;
+using sim::SimTime;
+
+namespace {
+
+phy::ChannelConfig channel_config(const CoexistenceConfig& cfg) {
+  phy::ChannelConfig ch;
+  ch.ber = cfg.ber;
+  return ch;
+}
+
+}  // namespace
+
+TwoPiconets::TwoPiconets(const CoexistenceConfig& config)
+    : env_(config.seed), channel_(env_, "channel", channel_config(config)) {
+  // Well-separated addresses -> uncorrelated hop sequences.
+  const BdAddr addrs[4] = {
+      BdAddr(0x3A11C5, 0x51, 0xA000), BdAddr(0x7E24D9, 0x62, 0xA001),
+      BdAddr(0xB3590E, 0x73, 0xB000), BdAddr(0xC87A63, 0x84, 0xB001)};
+  for (int i = 0; i < 4; ++i) {
+    DeviceConfig dc;
+    dc.addr = addrs[i];
+    dc.lc.inquiry_timeout_slots = 32768;
+    dc.lc.page_timeout_slots = 16384;
+    dc.lc.data_packet_type = config.data_packet_type;
+    dc.clkn_init =
+        i == 0 ? 0
+               : static_cast<std::uint32_t>(env_.rng().uniform(0, kClockMask));
+    dc.clkn_phase = SimTime::us(i == 0 ? 1000 : env_.rng().uniform(1, 1249));
+    static const char* names[] = {"m0", "s0", "m1", "s1"};
+    devices_.push_back(
+        std::make_unique<Device>(env_, names[i], dc, channel_));
+  }
+  for (auto& d : devices_) {
+    lms_.push_back(std::make_unique<lm::LinkManager>(*d));
+  }
+}
+
+TwoPiconets::~TwoPiconets() = default;
+
+baseband::Device& TwoPiconets::master(int piconet) {
+  return *devices_.at(static_cast<std::size_t>(2 * piconet));
+}
+baseband::Device& TwoPiconets::slave(int piconet) {
+  return *devices_.at(static_cast<std::size_t>(2 * piconet + 1));
+}
+lm::LinkManager& TwoPiconets::master_lm(int piconet) {
+  return *lms_.at(static_cast<std::size_t>(2 * piconet));
+}
+lm::LinkManager& TwoPiconets::slave_lm(int piconet) {
+  return *lms_.at(static_cast<std::size_t>(2 * piconet + 1));
+}
+
+bool TwoPiconets::create(int piconet, int max_attempts) {
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    std::optional<bool> inquiry_done;
+    lm::LinkManager::Events ev;
+    ev.inquiry_complete = [&](bool ok) { inquiry_done = ok; };
+    master_lm(piconet).set_events(std::move(ev));
+    slave(piconet).lc().enable_inquiry_scan();
+    master(piconet).lc().enable_inquiry();
+    const SimTime inquiry_deadline = env_.now() + 25_sec;
+    while (!inquiry_done && env_.now() < inquiry_deadline) env_.run(5_ms);
+    if (!inquiry_done.value_or(false)) continue;
+
+    const auto& found = master(piconet).lc().discovered();
+    if (found.empty()) continue;
+    std::optional<bool> page_done;
+    lm::LinkManager::Events pev;
+    pev.page_complete = [&](bool ok) { page_done = ok; };
+    master_lm(piconet).set_events(std::move(pev));
+    slave(piconet).lc().enable_page_scan();
+    master(piconet).lc().enable_page(found[0].addr, found[0].clkn_offset);
+    const SimTime page_deadline = env_.now() + 12_sec;
+    while (!page_done && env_.now() < page_deadline) env_.run(5_ms);
+    if (page_done.value_or(false)) return true;
+  }
+  return false;
+}
+
+}  // namespace btsc::core

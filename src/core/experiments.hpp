@@ -1,0 +1,107 @@
+// Experiment runners: one function per figure of the paper, plus the
+// packet-type throughput analysis the paper names as a goal of the model.
+// Benches print the rows; tests run reduced configurations.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "baseband/packet.hpp"
+#include "core/metrics.hpp"
+#include "stats/accumulator.hpp"
+
+namespace btsc::core {
+
+// ---- Figs. 6-8: piconet creation vs BER ----
+
+struct CreationConfig {
+  int seeds = 20;
+  /// Paper: both timeouts fixed to 1.28 s (2048 slots).
+  std::uint32_t timeout_slots = 2048;
+  std::uint64_t base_seed = 1000;
+};
+
+struct CreationPoint {
+  double ber = 0.0;
+  /// Slots to complete, successful runs only (the paper's mean).
+  stats::Accumulator inquiry_slots;
+  stats::Accumulator page_slots;
+  /// Success ratios; page is conditional on inquiry having succeeded.
+  stats::RatioCounter inquiry_ok;
+  stats::RatioCounter page_ok;
+};
+
+/// Simulates `seeds` independent 2-device creations at the given BER.
+CreationPoint run_creation_point(double ber, const CreationConfig& cfg);
+
+// ---- Fig. 10: master RF activity vs channel duty cycle ----
+
+struct MasterActivityRow {
+  double duty = 0.0;  // fraction of master TX slots carrying traffic
+  RfActivity master;
+  std::uint64_t messages = 0;
+};
+
+struct MasterActivityConfig {
+  std::uint64_t seed = 1;
+  std::uint32_t measure_slots = 20000;
+  std::size_t payload_bytes = 1;  // short DM1 packets, as in the paper
+};
+
+MasterActivityRow run_master_activity(double duty,
+                                      const MasterActivityConfig& cfg);
+
+// ---- Fig. 11: slave RF activity, active vs sniff ----
+
+struct SlaveActivityRow {
+  std::optional<std::uint32_t> mode_parameter;  // Tsniff or Thold (slots)
+  RfActivity slave;
+};
+
+struct SniffActivityConfig {
+  std::uint64_t seed = 1;
+  /// Master sends data to the slave with this fixed period (paper: 100).
+  std::uint32_t data_period_slots = 100;
+  std::uint32_t measure_slots = 20000;
+  std::size_t payload_bytes = 17;  // full DM1
+};
+
+/// tsniff == nullopt measures the active-mode baseline.
+SlaveActivityRow run_sniff_activity(std::optional<std::uint32_t> tsniff,
+                                    const SniffActivityConfig& cfg);
+
+// ---- Fig. 12: slave RF activity, active vs hold ----
+
+struct HoldActivityConfig {
+  std::uint64_t seed = 1;
+  /// Gap between consecutive hold cycles (covers resynchronisation).
+  std::uint32_t inter_hold_gap_slots = 8;
+  /// Measure at least this many slots (and >= 6 hold cycles).
+  std::uint32_t min_measure_slots = 20000;
+};
+
+/// thold == nullopt measures the idle active-mode baseline (the paper's
+/// flat 2.6% line).
+SlaveActivityRow run_hold_activity(std::optional<std::uint32_t> thold,
+                                   const HoldActivityConfig& cfg);
+
+// ---- Extension: packet type vs throughput under noise (paper section 2
+//      lists this analysis as a design goal of the model) ----
+
+struct ThroughputRow {
+  baseband::PacketType type = baseband::PacketType::kDm1;
+  double ber = 0.0;
+  double goodput_kbps = 0.0;
+  std::uint64_t delivered_messages = 0;
+  std::uint64_t retransmissions = 0;
+};
+
+struct ThroughputConfig {
+  std::uint64_t seed = 1;
+  std::uint32_t measure_slots = 8000;
+};
+
+ThroughputRow run_throughput(baseband::PacketType type, double ber,
+                             const ThroughputConfig& cfg);
+
+}  // namespace btsc::core

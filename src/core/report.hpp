@@ -1,0 +1,81 @@
+// Plain-text table/series output for the figure-regeneration benches.
+//
+// Every bench prints a header naming the figure it reproduces and rows in
+// a fixed-width layout (also valid CSV when `csv` is set), so results can
+// be compared side by side with the paper and plotted directly.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace btsc::core {
+
+class Report {
+ public:
+  explicit Report(std::string title, bool csv = false)
+      : title_(std::move(title)), csv_(csv) {
+    std::printf("# %s\n", title_.c_str());
+  }
+
+  void columns(const std::vector<std::string>& names) {
+    names_ = names;
+    if (csv_) {
+      for (std::size_t i = 0; i < names.size(); ++i) {
+        std::printf("%s%s", i ? "," : "", names[i].c_str());
+      }
+      std::printf("\n");
+    } else {
+      for (const auto& n : names_) std::printf("%14s", n.c_str());
+      std::printf("\n");
+      for (std::size_t i = 0; i < names_.size(); ++i) std::printf("%14s", "-----");
+      std::printf("\n");
+    }
+  }
+
+  void row(const std::vector<double>& values) {
+    if (csv_) {
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        std::printf("%s%.6g", i ? "," : "", values[i]);
+      }
+      std::printf("\n");
+    } else {
+      for (double v : values) std::printf("%14.4g", v);
+      std::printf("\n");
+    }
+  }
+
+  /// Free-form annotation line (ignored by CSV parsers).
+  void note(const std::string& text) { std::printf("# %s\n", text.c_str()); }
+
+ private:
+  std::string title_;
+  bool csv_;
+  std::vector<std::string> names_;
+};
+
+/// Shared command-line knobs for the figure benches: --seeds N, --quick,
+/// --csv. Unknown arguments are ignored.
+struct BenchArgs {
+  int seeds = 0;      // 0 = bench default
+  bool quick = false;
+  bool csv = false;
+
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs a;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--quick") {
+        a.quick = true;
+      } else if (arg == "--csv") {
+        a.csv = true;
+      } else if (arg == "--seeds" && i + 1 < argc) {
+        a.seeds = std::atoi(argv[++i]);
+      }
+    }
+    return a;
+  }
+};
+
+}  // namespace btsc::core

@@ -1,0 +1,86 @@
+// Application-layer traffic sources used by the activity experiments.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baseband/device.hpp"
+#include "sim/time.hpp"
+
+namespace btsc::core {
+
+/// Queues a fixed-size payload to one link every `period_slots` slots
+/// (the paper's Fig. 11 uses a 100-slot period; Fig. 10 sweeps the duty
+/// cycle, i.e. the inverse period).
+class PeriodicTrafficSource {
+ public:
+  PeriodicTrafficSource(baseband::Device& device, std::uint8_t lt_addr,
+                        std::uint32_t period_slots,
+                        std::size_t payload_bytes = 1)
+      : device_(device),
+        lt_addr_(lt_addr),
+        period_(baseband::kSlotDuration * period_slots),
+        payload_(payload_bytes, 0xA5) {
+    schedule_next();
+  }
+
+  void stop() { running_ = false; }
+  std::uint64_t messages_sent() const { return sent_; }
+
+ private:
+  void schedule_next() {
+    device_.env().schedule(period_, [this] {
+      if (!running_) return;
+      if (device_.lc().send_acl(lt_addr_, baseband::kLlidStart, payload_)) {
+        ++sent_;
+      }
+      schedule_next();
+    });
+  }
+
+  baseband::Device& device_;
+  std::uint8_t lt_addr_;
+  sim::SimTime period_;
+  std::vector<std::uint8_t> payload_;
+  bool running_ = true;
+  std::uint64_t sent_ = 0;
+};
+
+/// Keeps the sender's queue non-empty (saturation source) for throughput
+/// experiments: refills up to `backlog` messages each slot.
+class SaturatingTrafficSource {
+ public:
+  SaturatingTrafficSource(baseband::Device& device, std::uint8_t lt_addr,
+                          std::size_t payload_bytes, std::size_t backlog = 4)
+      : device_(device),
+        lt_addr_(lt_addr),
+        payload_(payload_bytes, 0x3C),
+        backlog_(backlog) {
+    refill();
+  }
+
+  void stop() { running_ = false; }
+  std::uint64_t messages_sent() const { return sent_; }
+
+ private:
+  void refill() {
+    if (!running_) return;
+    for (std::size_t i = 0; i < backlog_; ++i) {
+      if (!device_.lc().send_acl(lt_addr_, baseband::kLlidStart, payload_)) {
+        break;
+      }
+      ++sent_;
+    }
+    device_.env().schedule(baseband::kSlotDuration * 2,
+                           [this] { refill(); });
+  }
+
+  baseband::Device& device_;
+  std::uint8_t lt_addr_;
+  std::vector<std::uint8_t> payload_;
+  std::size_t backlog_;
+  bool running_ = true;
+  std::uint64_t sent_ = 0;
+};
+
+}  // namespace btsc::core

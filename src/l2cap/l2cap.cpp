@@ -1,0 +1,92 @@
+#include "l2cap/l2cap.hpp"
+
+#include "baseband/packet.hpp"
+
+namespace btsc::l2cap {
+
+using baseband::kLlidCont;
+using baseband::kLlidStart;
+
+L2capMux::L2capMux(lm::LinkManager& link_manager) : lm_(link_manager) {
+  lm_.set_user_data_handler(
+      [this](std::uint8_t lt, std::uint8_t llid,
+             std::vector<std::uint8_t> data) {
+        on_user_data(lt, llid, std::move(data));
+      });
+}
+
+std::size_t L2capMux::fragment_capacity() const {
+  return baseband::max_user_bytes(
+      lm_.device().lc().config().data_packet_type);
+}
+
+bool L2capMux::send(std::uint8_t lt, ChannelId cid,
+                    std::vector<std::uint8_t> sdu) {
+  if (sdu.size() > 0xFFFF) return false;
+  // Basic L2CAP frame: length (of the information payload) + CID + SDU.
+  std::vector<std::uint8_t> frame;
+  frame.reserve(sdu.size() + 4);
+  frame.push_back(static_cast<std::uint8_t>(sdu.size() & 0xFF));
+  frame.push_back(static_cast<std::uint8_t>(sdu.size() >> 8));
+  frame.push_back(static_cast<std::uint8_t>(cid & 0xFF));
+  frame.push_back(static_cast<std::uint8_t>(cid >> 8));
+  frame.insert(frame.end(), sdu.begin(), sdu.end());
+
+  const std::size_t cap = fragment_capacity();
+  auto& lc = lm_.device().lc();
+  bool first = true;
+  for (std::size_t pos = 0; pos < frame.size(); pos += cap) {
+    const std::size_t n = std::min(cap, frame.size() - pos);
+    std::vector<std::uint8_t> fragment(
+        frame.begin() + static_cast<std::ptrdiff_t>(pos),
+        frame.begin() + static_cast<std::ptrdiff_t>(pos + n));
+    if (!lc.send_acl(lt, first ? kLlidStart : kLlidCont,
+                     std::move(fragment))) {
+      return false;  // queue full
+    }
+    first = false;
+  }
+  ++sdus_sent_;
+  return true;
+}
+
+void L2capMux::on_user_data(std::uint8_t lt, std::uint8_t llid,
+                            std::vector<std::uint8_t> data) {
+  Reassembly& r = reassembly_[lt];
+  if (r.active && llid == kLlidStart) {
+    // A new start while a frame is in flight: the previous SDU is dead.
+    ++reassembly_errors_;
+    r.active = false;
+    r.buffer.clear();
+  }
+  if (!r.active) {
+    // Expect a frame start with the 4-byte basic header.
+    if (llid != kLlidStart || data.size() < 4) {
+      ++reassembly_errors_;
+      return;
+    }
+    const std::uint16_t length =
+        static_cast<std::uint16_t>(data[0] | (data[1] << 8));
+    r.cid = static_cast<ChannelId>(data[2] | (data[3] << 8));
+    r.expected = length;
+    r.buffer.assign(data.begin() + 4, data.end());
+    r.active = true;
+  } else {
+    r.buffer.insert(r.buffer.end(), data.begin(), data.end());
+  }
+  if (r.buffer.size() > r.expected) {
+    // Overrun: stream desynchronised (e.g. a lost start fragment).
+    ++reassembly_errors_;
+    r.active = false;
+    r.buffer.clear();
+    return;
+  }
+  if (r.buffer.size() == r.expected) {
+    r.active = false;
+    ++sdus_delivered_;
+    if (handler_) handler_(lt, r.cid, std::move(r.buffer));
+    r.buffer = {};
+  }
+}
+
+}  // namespace btsc::l2cap

@@ -1,0 +1,82 @@
+#include "phy/channel.hpp"
+
+#include <stdexcept>
+
+namespace btsc::phy {
+
+NoisyChannel::NoisyChannel(sim::Environment& env, std::string name,
+                           ChannelConfig config)
+    : Module(env, std::move(name)), config_(config) {
+  if (config_.ber < 0.0 || config_.ber > 1.0) {
+    throw std::invalid_argument("NoisyChannel: BER outside [0,1]");
+  }
+  if (config_.num_channels <= 0) {
+    throw std::invalid_argument("NoisyChannel: need at least one RF channel");
+  }
+  if (env.tracer() != nullptr) {
+    bus_trace_ = std::make_unique<sim::Signal<Logic4>>(
+        env, child_name("bus"), Logic4::kZ);
+  }
+}
+
+PortId NoisyChannel::attach(const std::string& device_name) {
+  ports_.push_back(Port{device_name, -1, Logic4::kZ});
+  return static_cast<PortId>(ports_.size() - 1);
+}
+
+void NoisyChannel::drive(PortId port, int freq, Logic4 value) {
+  if (port < 0 || port >= num_ports()) {
+    throw std::out_of_range("NoisyChannel::drive: bad port");
+  }
+  if (value != Logic4::kZ &&
+      (freq < 0 || freq >= config_.num_channels)) {
+    throw std::out_of_range("NoisyChannel::drive: bad frequency");
+  }
+  if (config_.rf_delay == sim::SimTime::zero()) {
+    apply(port, freq, value);
+  } else {
+    env().schedule(config_.rf_delay,
+                   [this, port, freq, value] { apply(port, freq, value); });
+  }
+}
+
+void NoisyChannel::apply(PortId port, int freq, Logic4 value) {
+  Logic4 v = value;
+  if (is_defined(v)) {
+    ++bits_driven_;
+    if (config_.ber > 0.0 && env().rng().bernoulli(config_.ber)) {
+      v = invert(v);
+      ++bits_flipped_;
+    }
+  }
+  ports_[static_cast<std::size_t>(port)].freq = freq;
+  ports_[static_cast<std::size_t>(port)].value = v;
+  refresh_trace();
+}
+
+Logic4 NoisyChannel::sense(int freq) const {
+  Logic4 acc = Logic4::kZ;
+  for (const Port& p : ports_) {
+    if (p.value == Logic4::kZ) continue;
+    if (config_.per_frequency && p.freq != freq) continue;
+    acc = resolve(acc, p.value);
+  }
+  if (acc == Logic4::kX) ++collision_samples_;
+  return acc;
+}
+
+bool NoisyChannel::busy() const {
+  for (const Port& p : ports_) {
+    if (p.value != Logic4::kZ) return true;
+  }
+  return false;
+}
+
+void NoisyChannel::refresh_trace() {
+  if (!bus_trace_) return;
+  Logic4 acc = Logic4::kZ;
+  for (const Port& p : ports_) acc = resolve(acc, p.value);
+  bus_trace_->write(acc);
+}
+
+}  // namespace btsc::phy

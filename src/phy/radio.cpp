@@ -1,0 +1,141 @@
+#include "phy/radio.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace btsc::phy {
+
+Radio::Radio(sim::Environment& env, std::string name, NoisyChannel& channel)
+    : Module(env, std::move(name)),
+      channel_(channel),
+      port_(channel.attach(this->name())),
+      enable_tx_(env, child_name("enable_tx_RF")),
+      enable_rx_(env, child_name("enable_rx_RF")) {}
+
+void Radio::transmit(int freq, sim::BitVector bits,
+                     std::function<void()> done) {
+  if (tx_busy_) {
+    throw std::logic_error(name() + ": transmit while TX busy");
+  }
+  if (bits.empty()) {
+    if (done) done();
+    return;
+  }
+  tx_busy_ = true;
+  tx_freq_ = freq;
+  tx_bits_ = std::move(bits);
+  tx_pos_ = 0;
+  tx_done_ = std::move(done);
+  enable_tx_.write(true);
+  account_tx(true);
+  tx_next_bit();
+}
+
+void Radio::tx_next_bit() {
+  if (tx_pos_ < tx_bits_.size()) {
+    channel_.drive(port_, tx_freq_, from_bit(tx_bits_[tx_pos_]));
+    ++bits_sent_;
+    ++tx_pos_;
+    tx_timer_ = env().schedule(kBitPeriod, [this] { tx_next_bit(); });
+    return;
+  }
+  // Past the last bit: release the medium and finish.
+  channel_.drive(port_, tx_freq_, Logic4::kZ);
+  tx_busy_ = false;
+  tx_timer_ = sim::kInvalidTimer;
+  enable_tx_.write(false);
+  account_tx(false);
+  if (tx_done_) {
+    // Move out first: the callback may start another transmission.
+    auto done = std::move(tx_done_);
+    tx_done_ = nullptr;
+    done();
+  }
+}
+
+void Radio::abort_tx() {
+  if (!tx_busy_) return;
+  env().cancel(tx_timer_);
+  tx_timer_ = sim::kInvalidTimer;
+  channel_.drive(port_, tx_freq_, Logic4::kZ);
+  tx_busy_ = false;
+  tx_done_ = nullptr;
+  enable_tx_.write(false);
+  account_tx(false);
+}
+
+void Radio::enable_rx(int freq) {
+  rx_freq_ = freq;
+  if (rx_on_) return;
+  rx_on_ = true;
+  enable_rx_.write(true);
+  account_rx(true);
+  // First sample at grid + 250 ns: transmissions start on integer or
+  // half-microsecond boundaries (even/odd half slots), so a quarter-bit
+  // sampling offset never coincides with a bit edge of either grid.
+  const std::uint64_t now_ns = env().now().as_ns();
+  const std::uint64_t period = kBitPeriod.as_ns();
+  const std::uint64_t grid = (now_ns / period) * period;
+  std::uint64_t first = grid + period / 4;
+  if (first <= now_ns) first += period;
+  rx_timer_ = env().schedule(sim::SimTime::ns(first - now_ns),
+                             [this] { rx_sample(); });
+}
+
+void Radio::disable_rx() {
+  if (!rx_on_) return;
+  rx_on_ = false;
+  env().cancel(rx_timer_);
+  rx_timer_ = sim::kInvalidTimer;
+  enable_rx_.write(false);
+  account_rx(false);
+}
+
+void Radio::retune_rx(int freq) { rx_freq_ = freq; }
+
+void Radio::rx_sample() {
+  ++bits_sampled_;
+  const Logic4 v = channel_.sense(rx_freq_);
+  if (rx_sink_) rx_sink_(v);
+  // The sink may have disabled the receiver.
+  if (rx_on_) {
+    rx_timer_ = env().schedule(kBitPeriod, [this] { rx_sample(); });
+  }
+}
+
+void Radio::account_tx(bool on) {
+  if (on) {
+    tx_since_ = env().now();
+  } else {
+    tx_accum_ += env().now() - tx_since_;
+  }
+}
+
+void Radio::account_rx(bool on) {
+  if (on) {
+    rx_since_ = env().now();
+  } else {
+    rx_accum_ += env().now() - rx_since_;
+  }
+}
+
+sim::SimTime Radio::tx_on_time() const {
+  sim::SimTime t = tx_accum_;
+  if (tx_busy_) t += env().now() - tx_since_;
+  return t;
+}
+
+sim::SimTime Radio::rx_on_time() const {
+  sim::SimTime t = rx_accum_;
+  if (rx_on_) t += env().now() - rx_since_;
+  return t;
+}
+
+void Radio::reset_activity() {
+  tx_accum_ = sim::SimTime::zero();
+  rx_accum_ = sim::SimTime::zero();
+  tx_since_ = env().now();
+  rx_since_ = env().now();
+}
+
+}  // namespace btsc::phy

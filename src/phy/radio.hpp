@@ -1,0 +1,121 @@
+// Radio front-end model for one Bluetooth device.
+//
+// Owns the device's port on the NoisyChannel and the two RF enable lines
+// the paper plots in its waveform figures (enable_tx_RF, enable_rx_RF).
+// The Bluetooth protocol switches the RF blocks on only when necessary;
+// the time integrals of these enables are exactly the "RF activity"
+// metric of the paper's Figs. 10-12 and the input to the power model.
+//
+// Bit timing: the symbol rate is 1 Mbit/s, so the transmitter drives one
+// bit per microsecond on the channel, and the receiver samples the medium
+// at +250 ns past the bit grid -- an offset that stays strictly inside
+// the bit period for transmissions aligned to either the even (integer
+// microsecond) or odd (half-microsecond) half-slot grid.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "phy/channel.hpp"
+#include "phy/logic4.hpp"
+#include "sim/bitvector.hpp"
+#include "sim/module.hpp"
+#include "sim/signal.hpp"
+#include "sim/time.hpp"
+
+namespace btsc::phy {
+
+/// Duration of one transmitted symbol (1 Mbit/s raw rate).
+inline constexpr sim::SimTime kBitPeriod = sim::SimTime::us(1);
+
+class Radio final : public sim::Module {
+ public:
+  Radio(sim::Environment& env, std::string name, NoisyChannel& channel);
+
+  // ---- transmitter ----
+
+  /// Starts transmitting `bits` on RF channel `freq`, one bit per
+  /// microsecond starting now. `done` (optional) runs right after the
+  /// last bit ends and the medium is released. Requires the transmitter
+  /// to be idle.
+  void transmit(int freq, sim::BitVector bits,
+                std::function<void()> done = {});
+
+  /// Aborts an in-progress transmission and releases the medium.
+  void abort_tx();
+
+  bool tx_busy() const { return tx_busy_; }
+
+  // ---- receiver ----
+
+  /// Sink invoked once per sampled bit while the receiver is enabled.
+  void set_rx_sink(std::function<void(Logic4)> sink) {
+    rx_sink_ = std::move(sink);
+  }
+
+  /// Enables the receiver on `freq`. Sampling starts at the next mid-bit
+  /// instant. Disabling stops sampling immediately.
+  void enable_rx(int freq);
+  void disable_rx();
+  bool rx_enabled() const { return rx_on_; }
+  int rx_freq() const { return rx_freq_; }
+
+  /// Retunes while enabled (no-op when disabled).
+  void retune_rx(int freq);
+
+  // ---- RF enable lines (traced; the paper's waveform signals) ----
+  sim::BoolSignal& enable_tx_rf() { return enable_tx_; }
+  sim::BoolSignal& enable_rx_rf() { return enable_rx_; }
+
+  // ---- activity accounting (Figs. 10-12) ----
+
+  /// Total time the TX/RX chains were enabled since the last reset,
+  /// including any interval still in progress.
+  sim::SimTime tx_on_time() const;
+  sim::SimTime rx_on_time() const;
+
+  /// Starts a fresh measurement window at the current time.
+  void reset_activity();
+
+  std::uint64_t bits_sent() const { return bits_sent_; }
+  std::uint64_t bits_sampled() const { return bits_sampled_; }
+
+ private:
+  void tx_next_bit();
+  void rx_sample();
+  void account_tx(bool on);
+  void account_rx(bool on);
+
+  NoisyChannel& channel_;
+  PortId port_;
+
+  // TX state
+  bool tx_busy_ = false;
+  int tx_freq_ = 0;
+  sim::BitVector tx_bits_;
+  std::size_t tx_pos_ = 0;
+  std::function<void()> tx_done_;
+  sim::TimerId tx_timer_ = sim::kInvalidTimer;
+
+  // RX state
+  bool rx_on_ = false;
+  int rx_freq_ = 0;
+  std::function<void(Logic4)> rx_sink_;
+  sim::TimerId rx_timer_ = sim::kInvalidTimer;
+
+  // Enable lines (traced)
+  sim::BoolSignal enable_tx_;
+  sim::BoolSignal enable_rx_;
+
+  // Activity accounting
+  sim::SimTime tx_accum_ = sim::SimTime::zero();
+  sim::SimTime rx_accum_ = sim::SimTime::zero();
+  sim::SimTime tx_since_ = sim::SimTime::zero();  // valid while tx on
+  sim::SimTime rx_since_ = sim::SimTime::zero();  // valid while rx on
+
+  std::uint64_t bits_sent_ = 0;
+  std::uint64_t bits_sampled_ = 0;
+};
+
+}  // namespace btsc::phy

@@ -1,0 +1,102 @@
+// BitVector: a sequence of bits in air (transmission) order.
+//
+// Bluetooth transmits the least significant bit of every field first; all
+// composers/parsers in this repository therefore agree on the convention
+// that bit 0 of a BitVector is the first bit on air and that
+// append_uint()/extract_uint() are LSB-first.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace btsc::sim {
+
+class BitVector {
+ public:
+  BitVector() = default;
+  explicit BitVector(std::size_t n, bool value = false)
+      : bits_(n, value ? 1 : 0) {}
+
+  /// Builds from a string of '0'/'1' characters (index 0 = first on air).
+  static BitVector from_string(const std::string& s) {
+    BitVector v;
+    v.bits_.reserve(s.size());
+    for (char c : s) {
+      if (c != '0' && c != '1') {
+        throw std::invalid_argument("BitVector: bad character in bit string");
+      }
+      v.bits_.push_back(c == '1');
+    }
+    return v;
+  }
+
+  std::size_t size() const { return bits_.size(); }
+  bool empty() const { return bits_.empty(); }
+
+  bool operator[](std::size_t i) const { return bits_[i] != 0; }
+  bool at(std::size_t i) const { return bits_.at(i) != 0; }
+  void set(std::size_t i, bool v) { bits_.at(i) = v ? 1 : 0; }
+  void flip(std::size_t i) { bits_.at(i) ^= 1; }
+
+  void push_back(bool b) { bits_.push_back(b ? 1 : 0); }
+
+  /// Appends the low `nbits` of `value`, LSB first (air order).
+  void append_uint(std::uint64_t value, unsigned nbits) {
+    for (unsigned i = 0; i < nbits; ++i) {
+      bits_.push_back((value >> i) & 1u);
+    }
+  }
+
+  void append(const BitVector& other) {
+    bits_.insert(bits_.end(), other.bits_.begin(), other.bits_.end());
+  }
+
+  /// Reads `nbits` starting at `pos`, first bit = LSB. Requires the range
+  /// to be in bounds and nbits <= 64.
+  std::uint64_t extract_uint(std::size_t pos, unsigned nbits) const {
+    if (nbits > 64 || pos + nbits > bits_.size()) {
+      throw std::out_of_range("BitVector::extract_uint");
+    }
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < nbits; ++i) {
+      v |= static_cast<std::uint64_t>(bits_[pos + i]) << i;
+    }
+    return v;
+  }
+
+  /// Copies `len` bits starting at `pos` into a new vector.
+  BitVector slice(std::size_t pos, std::size_t len) const {
+    if (pos + len > bits_.size()) throw std::out_of_range("BitVector::slice");
+    BitVector v;
+    v.bits_.assign(bits_.begin() + static_cast<std::ptrdiff_t>(pos),
+                   bits_.begin() + static_cast<std::ptrdiff_t>(pos + len));
+    return v;
+  }
+
+  /// Number of positions where the two vectors differ (sizes must match).
+  std::size_t hamming_distance(const BitVector& other) const {
+    if (size() != other.size()) {
+      throw std::invalid_argument("BitVector::hamming_distance: size");
+    }
+    std::size_t d = 0;
+    for (std::size_t i = 0; i < size(); ++i) d += bits_[i] != other.bits_[i];
+    return d;
+  }
+
+  std::string to_string() const {
+    std::string s;
+    s.reserve(size());
+    for (auto b : bits_) s.push_back(b ? '1' : '0');
+    return s;
+  }
+
+  friend bool operator==(const BitVector&, const BitVector&) = default;
+
+ private:
+  std::vector<std::uint8_t> bits_;
+};
+
+}  // namespace btsc::sim

@@ -1,0 +1,27 @@
+#include "sim/clock.hpp"
+
+#include <stdexcept>
+
+namespace btsc::sim {
+
+Clock::Clock(Environment& env, std::string name, SimTime period,
+             SimTime start_offset)
+    : Module(env, std::move(name)),
+      out_(env, child_name("clk")),
+      period_(period),
+      half_(SimTime::ns(period.as_ns() / 2)) {
+  if (period == SimTime::zero()) {
+    throw std::invalid_argument("Clock: zero period");
+  }
+  env.schedule(start_offset, [this] { tick(); });
+}
+
+void Clock::tick() {
+  if (!running_) return;
+  const bool rising = !out_.read();
+  out_.write(rising);
+  if (rising) ++posedges_;
+  env().schedule(rising ? half_ : period_ - half_, [this] { tick(); });
+}
+
+}  // namespace btsc::sim

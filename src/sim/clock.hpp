@@ -1,0 +1,42 @@
+// Free-running clock generator module.
+//
+// Drives a BoolSignal with a square wave of the given period. The
+// Bluetooth models mostly use their own counters clocked from timers, but
+// a kernel-level clock is provided for RTL-style modules and tests.
+#pragma once
+
+#include <string>
+
+#include "sim/module.hpp"
+#include "sim/signal.hpp"
+#include "sim/time.hpp"
+
+namespace btsc::sim {
+
+class Clock final : public Module {
+ public:
+  /// `period` is the full cycle time; the first rising edge occurs at
+  /// `start_offset` (default: immediately at t=0 plus one period-half).
+  Clock(Environment& env, std::string name, SimTime period,
+        SimTime start_offset = SimTime::zero());
+
+  BoolSignal& out() { return out_; }
+  Event& posedge_event() { return out_.posedge_event(); }
+  SimTime period() const { return period_; }
+
+  /// Stops toggling (no further edges are scheduled).
+  void stop() { running_ = false; }
+
+  std::uint64_t posedge_count() const { return posedges_; }
+
+ private:
+  void tick();
+
+  BoolSignal out_;
+  SimTime period_;
+  SimTime half_;
+  bool running_ = true;
+  std::uint64_t posedges_ = 0;
+};
+
+}  // namespace btsc::sim

@@ -1,0 +1,116 @@
+#include "sim/environment.hpp"
+
+#include <cassert>
+
+#include "sim/signal.hpp"
+
+namespace btsc::sim {
+
+Environment::Environment(std::uint64_t seed) : rng_(seed) {}
+
+Environment::~Environment() = default;
+
+void Environment::make_runnable(Process& p) {
+  if (p.queued_) return;
+  p.queued_ = true;
+  next_runnable_.push_back(&p);
+}
+
+void Environment::request_update(SignalBase& s) { update_queue_.push_back(&s); }
+
+void Environment::notify_timed(Event& ev, SimTime abs_time) {
+  assert(abs_time >= now_);
+  timed_.push({abs_time, next_seq_++, &ev, kInvalidTimer});
+}
+
+TimerId Environment::schedule(SimTime delay, std::function<void()> fn) {
+  const TimerId id = next_timer_++;
+  timers_.emplace(id, std::move(fn));
+  timed_.push({now_ + delay, next_seq_++, nullptr, id});
+  return id;
+}
+
+void Environment::cancel(TimerId id) { timers_.erase(id); }
+
+Process& Environment::register_process(std::string name,
+                                       std::function<void()> fn) {
+  processes_.push_back(
+      std::make_unique<Process>(std::move(name), std::move(fn)));
+  return *processes_.back();
+}
+
+void Environment::trigger(Event& ev) {
+  for (Process* p : ev.waiters_) make_runnable(*p);
+}
+
+void Event::notify_delta() {
+  for (Process* p : waiters_) env_->make_runnable(*p);
+}
+
+void Event::notify(SimTime delay) {
+  env_->notify_timed(*this, env_->now() + delay);
+}
+
+void Environment::run_delta() {
+  ++delta_count_;
+  runnable_.swap(next_runnable_);
+  next_runnable_.clear();
+  // Evaluate phase.
+  for (Process* p : runnable_) {
+    p->queued_ = false;
+    ++activations_;
+    p->run();
+  }
+  runnable_.clear();
+  // Update phase. commit() notifies value-changed events, which enqueue
+  // into next_runnable_ for the following delta.
+  for (SignalBase* s : update_queue_) s->commit();
+  update_queue_.clear();
+}
+
+void Environment::commit_updates() {
+  for (SignalBase* s : update_queue_) s->commit();
+  update_queue_.clear();
+}
+
+void Environment::settle() {
+  while (!next_runnable_.empty() || !update_queue_.empty()) run_delta();
+}
+
+bool Environment::idle() const {
+  return next_runnable_.empty() && update_queue_.empty() && timed_.empty();
+}
+
+void Environment::run_until(SimTime until) {
+  settle();
+  while (!timed_.empty()) {
+    const SimTime t = timed_.top().when;
+    if (t > until) break;
+    now_ = t;
+    // Pop every entry scheduled for this instant, then settle all deltas.
+    while (!timed_.empty() && timed_.top().when == now_) {
+      TimedEntry entry = timed_.top();
+      timed_.pop();
+      if (entry.event != nullptr) {
+        trigger(*entry.event);
+      } else {
+        auto it = timers_.find(entry.timer);
+        if (it != timers_.end()) {
+          // Move out first: the callback may schedule more timers and
+          // invalidate the iterator.
+          auto fn = std::move(it->second);
+          timers_.erase(it);
+          fn();
+        }
+      }
+    }
+    // The timed callbacks above form the evaluate phase of the first delta
+    // at this instant; commit their signal writes before any process woken
+    // by notify_delta() runs, per the evaluate/update contract.
+    commit_updates();
+    settle();
+  }
+  if (now_ < until) now_ = until;
+}
+
+}  // namespace btsc::sim

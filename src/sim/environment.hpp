@@ -1,0 +1,126 @@
+// The simulation environment: scheduler, time wheel and kernel services.
+//
+// Scheduling follows the SystemC evaluate/update delta-cycle contract:
+//
+//   1. evaluate : run every runnable process to completion. Processes may
+//                 write signals (queueing update requests), notify events
+//                 and schedule timed callbacks.
+//   2. update   : commit pending signal writes; signals whose value
+//                 actually changed notify their value-changed events.
+//   3. delta    : processes made runnable by step 2 (or by notify_delta in
+//                 step 1) form the next evaluate set at the *same* time.
+//   4. advance  : when no delta work remains, pop the earliest timed
+//                 entries and repeat.
+//
+// The environment also owns the tracer (optional VCD output) and the root
+// random stream, so a whole simulation is reproducible from one seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/event.hpp"
+#include "sim/process.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace btsc::sim {
+
+class SignalBase;
+class Tracer;
+
+/// Handle for a scheduled one-shot callback, usable to cancel it.
+using TimerId = std::uint64_t;
+inline constexpr TimerId kInvalidTimer = 0;
+
+class Environment {
+ public:
+  explicit Environment(std::uint64_t seed = 1);
+  ~Environment();
+
+  Environment(const Environment&) = delete;
+  Environment& operator=(const Environment&) = delete;
+
+  // ---- time ----
+  SimTime now() const { return now_; }
+
+  /// Runs until the timed queue is exhausted or `until` is reached
+  /// (whichever comes first). Time ends up at min(until, last event).
+  void run_until(SimTime until);
+
+  /// Runs for `duration` from the current time.
+  void run(SimTime duration) { run_until(now_ + duration); }
+
+  /// Executes delta cycles at the current time until none remain, without
+  /// advancing time. Used by tests and by models that need settled signals.
+  void settle();
+
+  /// True if nothing remains to execute.
+  bool idle() const;
+
+  // ---- process / event plumbing (used by Event, Signal, Module) ----
+  void make_runnable(Process& p);
+  void request_update(SignalBase& s);
+  void notify_timed(Event& ev, SimTime abs_time);
+
+  /// Schedules a one-shot callback at now()+delay (evaluate phase).
+  /// Returns a TimerId that can be passed to cancel().
+  TimerId schedule(SimTime delay, std::function<void()> fn);
+
+  /// Cancels a previously scheduled callback; safe to call after it fired.
+  void cancel(TimerId id);
+
+  /// Registers a process owned by the caller's module; the environment
+  /// stores it so sensitivity lists can reference stable addresses.
+  Process& register_process(std::string name, std::function<void()> fn);
+
+  // ---- services ----
+  Rng& rng() { return rng_; }
+
+  /// Attaches a VCD tracer (nullptr detaches). The environment does not
+  /// own the tracer; it must outlive the simulation.
+  void set_tracer(Tracer* t) { tracer_ = t; }
+  Tracer* tracer() const { return tracer_; }
+
+  // ---- diagnostics ----
+  std::uint64_t delta_count() const { return delta_count_; }
+  std::uint64_t process_activations() const { return activations_; }
+
+ private:
+  struct TimedEntry {
+    SimTime when;
+    std::uint64_t seq;  // FIFO order among same-time entries
+    Event* event;       // either an event ...
+    TimerId timer;      // ... or a callback (timer != 0)
+    bool operator>(const TimedEntry& o) const {
+      return when != o.when ? when > o.when : seq > o.seq;
+    }
+  };
+
+  void run_delta();
+  void commit_updates();
+  void trigger(Event& ev);
+
+  SimTime now_ = SimTime::zero();
+  std::vector<Process*> runnable_;
+  std::vector<Process*> next_runnable_;
+  std::vector<SignalBase*> update_queue_;
+  std::priority_queue<TimedEntry, std::vector<TimedEntry>,
+                      std::greater<TimedEntry>>
+      timed_;
+  std::unordered_map<TimerId, std::function<void()>> timers_;
+  std::uint64_t next_seq_ = 1;
+  TimerId next_timer_ = 1;
+  std::vector<std::unique_ptr<Process>> processes_;
+  Rng rng_;
+  Tracer* tracer_ = nullptr;
+  std::uint64_t delta_count_ = 0;
+  std::uint64_t activations_ = 0;
+};
+
+}  // namespace btsc::sim

@@ -1,0 +1,46 @@
+// Events: the kernel's synchronisation primitive.
+//
+// Processes are statically sensitive to events; notifying an event makes
+// all sensitive processes runnable in the *next* delta cycle (delta
+// notification) or at a future time (timed notification). Immediate
+// notification is intentionally not supported: it makes results depend on
+// process execution order and is discouraged even in SystemC.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace btsc::sim {
+
+class Environment;
+class Process;
+
+class Event {
+ public:
+  explicit Event(Environment& env, std::string name = "event")
+      : env_(&env), name_(std::move(name)) {}
+
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Statically subscribes a process; it becomes runnable on every notify.
+  void add_sensitive(Process& p) { waiters_.push_back(&p); }
+
+  /// Makes all sensitive processes runnable in the next delta cycle.
+  void notify_delta();
+
+  /// Makes all sensitive processes runnable `delay` after the current time.
+  void notify(SimTime delay);
+
+ private:
+  friend class Environment;
+  Environment* env_;
+  std::string name_;
+  std::vector<Process*> waiters_;
+};
+
+}  // namespace btsc::sim

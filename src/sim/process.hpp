@@ -1,0 +1,40 @@
+// Method processes: the unit of executable behaviour in the kernel.
+//
+// A Process wraps a callback that is run (to completion, never suspended)
+// whenever one of the events it is sensitive to fires -- the semantics of
+// a SystemC SC_METHOD. Modules register processes through Module::method().
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+
+namespace btsc::sim {
+
+class Environment;
+
+/// A run-to-completion callback triggered by event notifications.
+class Process {
+ public:
+  Process(std::string name, std::function<void()> fn)
+      : name_(std::move(name)), fn_(std::move(fn)) {}
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Invoked by the scheduler during the evaluate phase.
+  void run() { fn_(); }
+
+ private:
+  friend class Environment;
+  std::string name_;
+  std::function<void()> fn_;
+  // True while the process sits in a runnable queue; prevents the same
+  // process from being queued twice in one delta when several of its
+  // sensitivity events fire together.
+  bool queued_ = false;
+};
+
+}  // namespace btsc::sim

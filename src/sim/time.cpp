@@ -1,0 +1,26 @@
+#include "sim/time.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace btsc::sim {
+
+std::string SimTime::to_string() const {
+  char buf[48];
+  if (ns_ % 1'000'000'000u == 0) {
+    std::snprintf(buf, sizeof buf, "%" PRIu64 " s", ns_ / 1'000'000'000u);
+  } else if (ns_ % 1'000'000u == 0) {
+    std::snprintf(buf, sizeof buf, "%" PRIu64 " ms", ns_ / 1'000'000u);
+  } else if (ns_ % 1000u == 0) {
+    std::snprintf(buf, sizeof buf, "%" PRIu64 " us", ns_ / 1000u);
+  } else {
+    std::snprintf(buf, sizeof buf, "%" PRIu64 " ns", ns_);
+  }
+  return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, SimTime t) {
+  return os << t.to_string();
+}
+
+}  // namespace btsc::sim

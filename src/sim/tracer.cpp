@@ -1,0 +1,103 @@
+#include "sim/tracer.hpp"
+
+#include <stdexcept>
+
+#include "sim/environment.hpp"
+
+namespace btsc::sim {
+
+VcdTracer::VcdTracer(Environment& env, const std::string& path)
+    : env_(env), out_(path) {
+  if (!out_) throw std::runtime_error("VcdTracer: cannot open " + path);
+}
+
+VcdTracer::~VcdTracer() { close(); }
+
+void VcdTracer::close() {
+  if (out_.is_open()) {
+    if (!header_written_) write_header();
+    out_.flush();
+    out_.close();
+  }
+}
+
+std::string VcdTracer::vcd_id(TraceId id) {
+  // Printable-ASCII base-94 identifier, as customary in VCD files.
+  std::string s;
+  do {
+    s.push_back(static_cast<char>('!' + id % 94));
+    id /= 94;
+  } while (id != 0);
+  return s;
+}
+
+TraceId VcdTracer::declare(const std::string& name, unsigned width,
+                           const std::string& initial) {
+  if (header_written_) {
+    throw std::logic_error(
+        "VcdTracer: declare() after tracing started (construct all modules "
+        "before running)");
+  }
+  vars_.push_back({name, width, initial});
+  return static_cast<TraceId>(vars_.size() - 1);
+}
+
+void VcdTracer::write_header() {
+  out_ << "$date btsc simulation $end\n"
+       << "$version btsc bluetooth system-level model $end\n"
+       << "$timescale 1ns $end\n"
+       << "$scope module top $end\n";
+  for (TraceId i = 0; i < vars_.size(); ++i) {
+    // Flatten hierarchical names: GTKWave accepts '.' inside identifiers.
+    out_ << "$var wire " << vars_[i].width << ' ' << vcd_id(i) << ' '
+         << vars_[i].name << " $end\n";
+  }
+  out_ << "$upscope $end\n$enddefinitions $end\n";
+  // Time-zero values for all signals that provided one.
+  out_ << "$dumpvars\n";
+  for (TraceId i = 0; i < vars_.size(); ++i) {
+    if (vars_[i].last.empty()) continue;
+    if (vars_[i].width == 1) {
+      out_ << vars_[i].last << vcd_id(i) << '\n';
+    } else {
+      out_ << 'b' << vars_[i].last << ' ' << vcd_id(i) << '\n';
+    }
+  }
+  out_ << "$end\n";
+  header_written_ = true;
+}
+
+void VcdTracer::emit_timestamp() {
+  const std::uint64_t ts = env_.now().as_ns();
+  if (ts != last_ts_) {
+    out_ << '#' << ts << '\n';
+    last_ts_ = ts;
+  }
+}
+
+void VcdTracer::change(TraceId id, const std::string& value) {
+  if (!header_written_) write_header();
+  Var& var = vars_.at(id);
+  if (var.last == value) return;
+  var.last = value;
+  emit_timestamp();
+  if (var.width == 1) {
+    out_ << value << vcd_id(id) << '\n';
+  } else {
+    out_ << 'b' << value << ' ' << vcd_id(id) << '\n';
+  }
+}
+
+TraceId RecordingTracer::declare(const std::string& name, unsigned,
+                                 const std::string& initial) {
+  names_.push_back(name);
+  const auto id = static_cast<TraceId>(names_.size() - 1);
+  if (!initial.empty()) records_.push_back({env_.now().as_ns(), name, initial});
+  return id;
+}
+
+void RecordingTracer::change(TraceId id, const std::string& value) {
+  records_.push_back({env_.now().as_ns(), names_.at(id), value});
+}
+
+}  // namespace btsc::sim

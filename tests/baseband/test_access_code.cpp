@@ -1,0 +1,160 @@
+#include "baseband/access_code.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baseband/address.hpp"
+#include "sim/rng.hpp"
+
+namespace btsc::baseband {
+namespace {
+
+using btsc::sim::BitVector;
+
+TEST(SyncWordTest, SixtyFourBits) {
+  EXPECT_EQ(sync_word(kGiacLap).size(), 64u);
+}
+
+TEST(SyncWordTest, DeterministicPerLap) {
+  EXPECT_EQ(sync_word(0x123456), sync_word(0x123456));
+  EXPECT_NE(sync_word(0x123456), sync_word(0x123457));
+}
+
+TEST(SyncWordTest, LargePairwiseDistance) {
+  // The BCH construction guarantees distant sync words; validate a sample
+  // of LAP pairs stays far above the correlator threshold margin
+  // (64 - 54 = 10 tolerated errors, so distance must exceed 20 to avoid
+  // cross-triggering in the worst case; the code's d_min is 14 but random
+  // pairs are typically much farther).
+  btsc::sim::Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto lap_a = static_cast<std::uint32_t>(rng.uniform(0, 0xFFFFFF));
+    const auto lap_b = static_cast<std::uint32_t>(rng.uniform(0, 0xFFFFFF));
+    if (lap_a == lap_b) continue;
+    const auto dist = sync_word(lap_a).hamming_distance(sync_word(lap_b));
+    EXPECT_GE(dist, 14u) << std::hex << lap_a << " vs " << lap_b;
+  }
+}
+
+TEST(SyncWordTest, BalancedBitCount) {
+  // PN scrambling keeps sync words roughly balanced; sanity-check GIAC.
+  const auto sw = sync_word(kGiacLap);
+  int ones = 0;
+  for (std::size_t i = 0; i < sw.size(); ++i) ones += sw[i];
+  EXPECT_GT(ones, 16);
+  EXPECT_LT(ones, 48);
+}
+
+TEST(AccessCodeTest, IdLengthWithoutTrailer) {
+  EXPECT_EQ(access_code(kGiacLap, /*with_trailer=*/false).size(),
+            kIdPacketBits);
+}
+
+TEST(AccessCodeTest, FullLengthWithTrailer) {
+  EXPECT_EQ(access_code(0x123456, /*with_trailer=*/true).size(),
+            kAccessCodeBits);
+}
+
+TEST(AccessCodeTest, SyncEmbeddedAfterPreamble) {
+  const auto sw = sync_word(0xABCDEF);
+  const auto ac = access_code(0xABCDEF, true);
+  EXPECT_EQ(ac.slice(4, 64), sw);
+}
+
+TEST(AccessCodeTest, PreambleAlternates) {
+  for (std::uint32_t lap : {0x000000u, 0x9E8B33u, 0xFFFFFFu, 0x5A5A5Au}) {
+    const auto ac = access_code(lap, false);
+    // The four preamble bits alternate 0101 or 1010.
+    EXPECT_NE(ac[0], ac[1]);
+    EXPECT_NE(ac[1], ac[2]);
+    EXPECT_NE(ac[2], ac[3]);
+    // ... and keep alternating into the first sync bit.
+    EXPECT_NE(ac[3], ac[4]);
+  }
+}
+
+TEST(CorrelatorTest, DetectsCleanSyncWord) {
+  const auto sw = sync_word(kGiacLap);
+  Correlator corr(sw);
+  bool hit = false;
+  for (std::size_t i = 0; i < sw.size(); ++i) hit = corr.push(sw[i]);
+  EXPECT_TRUE(hit);
+}
+
+TEST(CorrelatorTest, DetectsSyncAfterArbitraryPrefix) {
+  const auto sw = sync_word(0x42F00D);
+  Correlator corr(sw);
+  btsc::sim::Rng rng(3);
+  // 100 random prefix bits, then the sync word.
+  int hits = 0;
+  for (int i = 0; i < 100; ++i) hits += corr.push(rng.bernoulli(0.5));
+  bool hit_at_end = false;
+  for (std::size_t i = 0; i < sw.size(); ++i) hit_at_end = corr.push(sw[i]);
+  EXPECT_TRUE(hit_at_end);
+}
+
+TEST(CorrelatorTest, ToleratesUpToTenErrors) {
+  const auto sw = sync_word(0x9E8B33);
+  btsc::sim::Rng rng(4);
+  auto noisy = sw;
+  std::set<std::size_t> flipped;
+  while (flipped.size() < 10) {
+    const auto pos = rng.uniform(0, 63);
+    if (flipped.insert(pos).second) noisy.flip(pos);
+  }
+  Correlator corr(sw);
+  bool hit = false;
+  for (std::size_t i = 0; i < noisy.size(); ++i) hit = corr.push(noisy[i]);
+  EXPECT_TRUE(hit);
+}
+
+TEST(CorrelatorTest, RejectsElevenErrors) {
+  const auto sw = sync_word(0x9E8B33);
+  auto noisy = sw;
+  for (std::size_t i = 0; i < 11; ++i) noisy.flip(i * 5);
+  Correlator corr(sw);
+  bool hit = false;
+  for (std::size_t i = 0; i < noisy.size(); ++i) hit |= corr.push(noisy[i]);
+  EXPECT_FALSE(hit);
+}
+
+TEST(CorrelatorTest, DoesNotTriggerOnIdleZeros) {
+  Correlator corr(sync_word(kGiacLap));
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_FALSE(corr.push(false)) << "false trigger on idle medium";
+  }
+}
+
+TEST(CorrelatorTest, DoesNotTriggerOnOtherLap) {
+  const auto mine = sync_word(0x111111);
+  const auto other = sync_word(0x222222);
+  Correlator corr(mine);
+  for (std::size_t i = 0; i < other.size(); ++i) {
+    ASSERT_FALSE(corr.push(other[i]));
+  }
+}
+
+TEST(CorrelatorTest, RareFalsePositivesOnRandomNoise) {
+  Correlator corr(sync_word(kGiacLap));
+  btsc::sim::Rng rng(5);
+  int hits = 0;
+  for (int i = 0; i < 200000; ++i) hits += corr.push(rng.bernoulli(0.5));
+  // P(>=54 of 64 matches) per window ~ 4e-10; 2e5 windows -> ~0 expected.
+  EXPECT_EQ(hits, 0);
+}
+
+TEST(CorrelatorTest, ResetClearsHistory) {
+  const auto sw = sync_word(0x314159);
+  Correlator corr(sw);
+  for (std::size_t i = 0; i < 40; ++i) corr.push(sw[i]);
+  corr.reset();
+  EXPECT_EQ(corr.bits_seen(), 0u);
+  // Continuing mid-word after reset must not trigger within 63 bits.
+  bool hit = false;
+  for (std::size_t i = 40; i < sw.size(); ++i) hit |= corr.push(sw[i]);
+  EXPECT_FALSE(hit);
+}
+
+}  // namespace
+}  // namespace btsc::baseband

@@ -1,0 +1,99 @@
+#include "baseband/bt_clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/environment.hpp"
+
+namespace btsc::baseband {
+namespace {
+
+using namespace btsc::sim::literals;
+using btsc::sim::Environment;
+using btsc::sim::SimTime;
+
+TEST(NativeClockTest, TickPeriodIsHalfSlot) {
+  EXPECT_EQ(kTickPeriod * 2, kSlotDuration);
+  EXPECT_EQ(kTickPeriod.as_ns(), 312'500u);
+}
+
+TEST(NativeClockTest, CountsTicks) {
+  Environment env;
+  NativeClock clk(env, "clkn");
+  env.run_until(SimTime::ms(10));
+  // 10 ms / 312.5 us = 32 ticks.
+  EXPECT_EQ(clk.ticks(), 32u);
+  EXPECT_EQ(clk.clkn(), 32u);
+}
+
+TEST(NativeClockTest, InitialValueRespected) {
+  Environment env;
+  NativeClock clk(env, "clkn", 100);
+  EXPECT_EQ(clk.clkn(), 100u);
+  env.run_until(kTickPeriod);
+  EXPECT_EQ(clk.clkn(), 101u);
+}
+
+TEST(NativeClockTest, WrapsAt28Bits) {
+  Environment env;
+  NativeClock clk(env, "clkn", kClockMask);  // max value
+  env.run_until(kTickPeriod);
+  EXPECT_EQ(clk.clkn(), 0u);
+}
+
+TEST(NativeClockTest, PhaseOffsetShiftsTickGrid) {
+  Environment env;
+  NativeClock early(env, "early", 0, SimTime::us(100));
+  NativeClock late(env, "late", 0, SimTime::us(200));
+  env.run_until(SimTime::us(150));
+  EXPECT_EQ(early.clkn(), 1u);
+  EXPECT_EQ(late.clkn(), 0u);
+}
+
+TEST(NativeClockTest, TickEventFiresAfterIncrement) {
+  Environment env;
+  NativeClock clk(env, "clkn", 7);
+  std::vector<std::uint32_t> seen;
+  auto& p = env.register_process("watch", [&] { seen.push_back(clk.clkn()); });
+  clk.tick_event().add_sensitive(p);
+  env.run_until(kTickPeriod * 3);
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], 8u);
+  EXPECT_EQ(seen[2], 10u);
+}
+
+TEST(NativeClockTest, BitAccessor) {
+  Environment env;
+  NativeClock clk(env, "clkn", 0b1010);
+  EXPECT_FALSE(clk.bit(0));
+  EXPECT_TRUE(clk.bit(1));
+  EXPECT_FALSE(clk.bit(2));
+  EXPECT_TRUE(clk.bit(3));
+}
+
+TEST(NativeClockTest, LastTickTime) {
+  Environment env;
+  NativeClock clk(env, "clkn", 0, SimTime::us(50));
+  env.run_until(SimTime::ms(1));
+  // Ticks at 50us, 362.5us, 675us, 987.5us.
+  EXPECT_EQ(clk.last_tick_time(), SimTime::ns(987'500));
+}
+
+TEST(ClockOffsetTest, OffsetArithmetic) {
+  EXPECT_EQ(clock_offset(10, 15), 5u);
+  EXPECT_EQ(clock_offset(15, 10), (kClockMask - 4) & kClockMask);
+  const std::uint32_t clkn = 0x0FFFFFF0u;
+  const std::uint32_t target = 0x00000010u;
+  EXPECT_EQ((clkn + clock_offset(clkn, target)) & kClockMask, target);
+}
+
+TEST(NativeClockTest, TwoClocksDriftFree) {
+  // Same nominal rate: two clocks stay at a constant counter distance.
+  Environment env;
+  NativeClock a(env, "a", 0, SimTime::us(10));
+  NativeClock b(env, "b", 1000, SimTime::us(10));
+  env.run_until(SimTime::sec(1));
+  EXPECT_EQ(b.clkn() - a.clkn(), 1000u);
+}
+
+}  // namespace
+}  // namespace btsc::baseband

@@ -1,0 +1,99 @@
+#include "baseband/whitening.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/bitvector.hpp"
+#include "sim/rng.hpp"
+
+namespace btsc::baseband {
+namespace {
+
+using btsc::sim::BitVector;
+
+TEST(WhiteningTest, ApplyTwiceIsIdentity) {
+  btsc::sim::Rng rng(1);
+  BitVector data;
+  data.append_uint(rng.next(), 64);
+  BitVector scrambled = data;
+  Whitener(0x55).apply(scrambled);
+  EXPECT_NE(scrambled, data);  // really scrambles
+  Whitener(0x55).apply(scrambled);
+  EXPECT_EQ(scrambled, data);
+}
+
+TEST(WhiteningTest, DifferentInitsGiveDifferentStreams) {
+  BitVector a(64), b(64);
+  Whitener(0x41).apply(a);
+  Whitener(0x42).apply(b);
+  EXPECT_NE(a, b);
+}
+
+TEST(WhiteningTest, SequenceHasPeriod127) {
+  Whitener w(0x7F);
+  std::vector<bool> first;
+  for (int i = 0; i < 127; ++i) first.push_back(w.next());
+  for (int i = 0; i < 127; ++i) {
+    EXPECT_EQ(w.next(), first[static_cast<std::size_t>(i)])
+        << "period breaks at " << i;
+  }
+}
+
+TEST(WhiteningTest, StateNeverReachesZero) {
+  // A zero register would make the stream stick at zero; the spec's
+  // forced MSB=1 initialisation prevents it.
+  Whitener w = Whitener::from_clock(0x0);
+  for (int i = 0; i < 400; ++i) {
+    w.next();
+    ASSERT_NE(w.state(), 0u);
+  }
+}
+
+TEST(WhiteningTest, FromClockUsesBits6to1) {
+  // CLK bits [6:1] = 0b101011 -> register = 1 101011.
+  const std::uint32_t clk = 0b1010110;
+  EXPECT_EQ(Whitener::from_clock(clk).state(), 0b1101011u);
+  // Bit 0 of the clock must not matter.
+  EXPECT_EQ(Whitener::from_clock(clk | 1).state(),
+            Whitener::from_clock(clk).state());
+}
+
+TEST(WhiteningTest, SequenceIsBalanced) {
+  // A maximal-length 7-bit LFSR emits 64 ones and 63 zeros per period.
+  Whitener w(0x40);
+  int ones = 0;
+  for (int i = 0; i < 127; ++i) ones += w.next();
+  EXPECT_EQ(ones, 64);
+}
+
+TEST(WhiteningTest, AllNonZeroStatesVisited) {
+  Whitener w(0x01);
+  std::set<std::uint8_t> states;
+  for (int i = 0; i < 127; ++i) {
+    states.insert(w.state());
+    w.next();
+  }
+  EXPECT_EQ(states.size(), 127u);  // maximal-length sequence
+}
+
+// Property: involution holds for every clock value in a sweep.
+class WhiteningInvolution : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(WhiteningInvolution, RoundTrip) {
+  const std::uint32_t clk = GetParam();
+  btsc::sim::Rng rng(clk);
+  BitVector data;
+  data.append_uint(rng.next(), 54);
+  BitVector copy = data;
+  Whitener::from_clock(clk).apply(copy);
+  Whitener::from_clock(clk).apply(copy);
+  EXPECT_EQ(copy, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Clocks, WhiteningInvolution,
+                         ::testing::Values(0u, 1u, 2u, 0x3Fu, 0x40u, 0x7Eu,
+                                           0xFFFFu, 0x0FFFFFFFu));
+
+}  // namespace
+}  // namespace btsc::baseband

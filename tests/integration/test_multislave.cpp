@@ -1,0 +1,201 @@
+// Master + three slaves: the scenario of the paper's Fig. 5 (piconet
+// creation) and Fig. 9 (two slaves in sniff mode).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "baseband/device.hpp"
+#include "phy/channel.hpp"
+#include "sim/environment.hpp"
+
+namespace btsc::baseband {
+namespace {
+
+using namespace btsc::sim::literals;
+using btsc::phy::NoisyChannel;
+using btsc::sim::Environment;
+using btsc::sim::SimTime;
+
+struct MultiBed {
+  explicit MultiBed(std::uint64_t seed = 3, int num_slaves = 3)
+      : env(seed), ch(env, "ch") {
+    DeviceConfig mc;
+    mc.addr = BdAddr(0x5A3C71, 0x4E, 0x0001);
+    mc.clkn_phase = SimTime::us(1000);
+    mc.lc.inquiry_timeout_slots = 40960;  // generous for 3 responders
+    mc.lc.page_timeout_slots = 8192;
+    mc.lc.inquiry_target_responses = static_cast<std::size_t>(num_slaves);
+    master = std::make_unique<Device>(env, "master", mc, ch);
+    for (int i = 0; i < num_slaves; ++i) {
+      DeviceConfig sc;
+      sc.addr = BdAddr(0x100000u + static_cast<std::uint32_t>(i) * 0x1357,
+                       static_cast<std::uint8_t>(0x20 + i), 0x0002);
+      sc.clkn_init =
+          static_cast<std::uint32_t>(env.rng().uniform(0, kClockMask));
+      sc.clkn_phase = SimTime::us(env.rng().uniform(1, 1249));
+      slaves.push_back(std::make_unique<Device>(
+          env, "slave" + std::to_string(i + 1), sc, ch));
+    }
+  }
+
+  /// Creates the full piconet: one inquiry collecting all slaves, then
+  /// sequential pages. Returns true when every slave is connected.
+  bool create_piconet() {
+    std::optional<bool> inq_done;
+    LinkController::Callbacks cb;
+    cb.inquiry_complete = [&](bool ok) { inq_done = ok; };
+    master->lc().set_callbacks(cb);
+    for (auto& s : slaves) s->lc().enable_inquiry_scan();
+    master->lc().enable_inquiry();
+    while (!inq_done && env.now() < 30_sec) env.run(10_ms);
+    if (!inq_done.value_or(false)) return false;
+
+    for (const DiscoveredDevice d : master->lc().discovered()) {
+      std::optional<bool> page_done;
+      LinkController::Callbacks pcb;
+      pcb.page_complete = [&](bool ok) { page_done = ok; };
+      master->lc().set_callbacks(pcb);
+      Device* target = find_slave(d.addr);
+      if (target == nullptr) return false;
+      target->lc().enable_page_scan();
+      master->lc().enable_page(d.addr, d.clkn_offset);
+      const SimTime deadline = env.now() + 6_sec;
+      while (!page_done && env.now() < deadline) env.run(10_ms);
+      if (!page_done.value_or(false)) return false;
+    }
+    return true;
+  }
+
+  Device* find_slave(const BdAddr& addr) {
+    for (auto& s : slaves) {
+      if (s->address() == addr) return s.get();
+    }
+    return nullptr;
+  }
+
+  Environment env;
+  NoisyChannel ch;
+  std::unique_ptr<Device> master;
+  std::vector<std::unique_ptr<Device>> slaves;
+};
+
+TEST(MultiSlave, InquiryFindsAllThree) {
+  MultiBed tb;
+  std::optional<bool> done;
+  LinkController::Callbacks cb;
+  cb.inquiry_complete = [&](bool ok) { done = ok; };
+  tb.master->lc().set_callbacks(cb);
+  for (auto& s : tb.slaves) s->lc().enable_inquiry_scan();
+  tb.master->lc().enable_inquiry();
+  while (!done && tb.env.now() < 30_sec) tb.env.run(10_ms);
+  ASSERT_TRUE(done.value_or(false));
+  EXPECT_EQ(tb.master->lc().discovered().size(), 3u);
+}
+
+TEST(MultiSlave, FullPiconetForms) {
+  MultiBed tb;
+  ASSERT_TRUE(tb.create_piconet());
+  EXPECT_EQ(tb.master->lc().piconet().slaves().size(), 3u);
+  // Distinct LT addresses 1..3.
+  std::set<std::uint8_t> lts;
+  for (auto& s : tb.slaves) {
+    EXPECT_EQ(s->lc().state(), LcState::kConnectionSlave);
+    lts.insert(s->lc().own_lt_addr());
+  }
+  EXPECT_EQ(lts, (std::set<std::uint8_t>{1, 2, 3}));
+}
+
+TEST(MultiSlave, MasterAddressesEachSlaveIndividually) {
+  MultiBed tb;
+  ASSERT_TRUE(tb.create_piconet());
+  std::vector<int> got(3, 0);
+  for (int i = 0; i < 3; ++i) {
+    LinkController::Callbacks cb;
+    cb.acl_rx = [&got, i](std::uint8_t, std::uint8_t,
+                          std::vector<std::uint8_t> d) {
+      if (d.at(0) == static_cast<std::uint8_t>(0xA0 + i)) got[i]++;
+    };
+    tb.slaves[static_cast<std::size_t>(i)]->lc().set_callbacks(cb);
+  }
+  // Address by the LT_ADDR each slave actually got.
+  for (int i = 0; i < 3; ++i) {
+    const auto lt = tb.slaves[static_cast<std::size_t>(i)]->lc().own_lt_addr();
+    ASSERT_TRUE(tb.master->lc().send_acl(
+        lt, kLlidStart, {static_cast<std::uint8_t>(0xA0 + i)}));
+  }
+  tb.env.run(500_ms);
+  EXPECT_EQ(got, (std::vector<int>{1, 1, 1}));
+}
+
+TEST(MultiSlave, JoinedSlavesGateRxWhileOthersPaged) {
+  // The Fig. 5 observation: a slave already in the piconet opens its RX
+  // only at slot starts (aborting on foreign LT_ADDR), while a slave not
+  // yet joined keeps its receiver always on (page scan).
+  MultiBed tb;
+  std::optional<bool> inq_done;
+  LinkController::Callbacks cb;
+  cb.inquiry_complete = [&](bool ok) { inq_done = ok; };
+  tb.master->lc().set_callbacks(cb);
+  for (auto& s : tb.slaves) s->lc().enable_inquiry_scan();
+  tb.master->lc().enable_inquiry();
+  while (!inq_done && tb.env.now() < 30_sec) tb.env.run(10_ms);
+  ASSERT_TRUE(inq_done.value_or(false));
+
+  // Connect only the first discovered slave.
+  const auto d0 = tb.master->lc().discovered()[0];
+  Device* first = tb.find_slave(d0.addr);
+  std::optional<bool> page_done;
+  LinkController::Callbacks pcb;
+  pcb.page_complete = [&](bool ok) { page_done = ok; };
+  tb.master->lc().set_callbacks(pcb);
+  first->lc().enable_page_scan();
+  tb.master->lc().enable_page(d0.addr, d0.clkn_offset);
+  while (!page_done && tb.env.now() < 40_sec) tb.env.run(10_ms);
+  ASSERT_TRUE(page_done.value_or(false));
+
+  // Second slave enters page scan (not yet paged): RX always on.
+  const auto d1 = tb.master->lc().discovered()[1];
+  Device* second = tb.find_slave(d1.addr);
+  second->lc().enable_page_scan();
+
+  first->radio().reset_activity();
+  second->radio().reset_activity();
+  tb.env.run(1_sec);
+  const double joined_duty =
+      static_cast<double>(first->radio().rx_on_time().as_ns()) / 1e9;
+  const double scanning_duty =
+      static_cast<double>(second->radio().rx_on_time().as_ns()) / 1e9;
+  EXPECT_GT(scanning_duty, 0.95) << "page-scanning slave: RX always active";
+  EXPECT_LT(joined_duty, 0.10) << "joined slave gates its receiver";
+}
+
+TEST(MultiSlave, TwoSlavesInSniffFig9Scenario) {
+  MultiBed tb;
+  ASSERT_TRUE(tb.create_piconet());
+  tb.env.run(100_ms);
+  // Put slaves 2 and 3 into sniff with a short interval, as in Fig. 9.
+  for (int i = 1; i < 3; ++i) {
+    Device& s = *tb.slaves[static_cast<std::size_t>(i)];
+    const auto lt = s.lc().own_lt_addr();
+    tb.master->lc().master_set_sniff(lt, 20, 5u * static_cast<std::uint32_t>(i), 1);
+    s.lc().slave_set_sniff(20, 5u * static_cast<std::uint32_t>(i), 1);
+  }
+  tb.env.run(100_ms);
+  for (auto& s : tb.slaves) s->radio().reset_activity();
+  tb.env.run(2_sec);
+  const auto duty = [&](int i) {
+    return static_cast<double>(
+               tb.slaves[static_cast<std::size_t>(i)]->radio().rx_on_time().as_ns()) /
+           2e9;
+  };
+  // Sniffing slaves wake one slot in 20 (5%); the active slave idles at
+  // ~2.6% but also fields regular polls.
+  EXPECT_GT(duty(0), 0.015);
+  EXPECT_NEAR(duty(1), 0.05, 0.03);
+  EXPECT_NEAR(duty(2), 0.05, 0.03);
+}
+
+}  // namespace
+}  // namespace btsc::baseband

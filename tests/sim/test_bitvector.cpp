@@ -1,0 +1,112 @@
+#include "sim/bitvector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace btsc::sim {
+namespace {
+
+TEST(BitVectorTest, DefaultEmpty) {
+  BitVector v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+}
+
+TEST(BitVectorTest, SizedConstruction) {
+  BitVector v(5, true);
+  EXPECT_EQ(v.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_TRUE(v[i]);
+}
+
+TEST(BitVectorTest, FromStringRoundTrip) {
+  const auto v = BitVector::from_string("10110");
+  EXPECT_EQ(v.size(), 5u);
+  EXPECT_TRUE(v[0]);
+  EXPECT_FALSE(v[1]);
+  EXPECT_EQ(v.to_string(), "10110");
+}
+
+TEST(BitVectorTest, FromStringRejectsBadChars) {
+  EXPECT_THROW(BitVector::from_string("10x"), std::invalid_argument);
+}
+
+TEST(BitVectorTest, AppendUintIsLsbFirst) {
+  BitVector v;
+  v.append_uint(0b1101, 4);  // air order: 1,0,1,1
+  EXPECT_EQ(v.to_string(), "1011");
+}
+
+TEST(BitVectorTest, ExtractUintInverseOfAppend) {
+  BitVector v;
+  v.append_uint(0xCAFE, 16);
+  v.append_uint(0x5, 3);
+  EXPECT_EQ(v.extract_uint(0, 16), 0xCAFEu);
+  EXPECT_EQ(v.extract_uint(16, 3), 0x5u);
+}
+
+TEST(BitVectorTest, ExtractOutOfRangeThrows) {
+  BitVector v;
+  v.append_uint(0xFF, 8);
+  EXPECT_THROW(v.extract_uint(1, 8), std::out_of_range);
+  EXPECT_THROW(v.extract_uint(0, 65), std::out_of_range);
+}
+
+TEST(BitVectorTest, SetFlipAt) {
+  BitVector v(3);
+  v.set(1, true);
+  EXPECT_FALSE(v.at(0));
+  EXPECT_TRUE(v.at(1));
+  v.flip(1);
+  EXPECT_FALSE(v.at(1));
+  EXPECT_THROW(v.set(3, true), std::out_of_range);
+}
+
+TEST(BitVectorTest, AppendVector) {
+  auto a = BitVector::from_string("101");
+  a.append(BitVector::from_string("01"));
+  EXPECT_EQ(a.to_string(), "10101");
+}
+
+TEST(BitVectorTest, Slice) {
+  const auto v = BitVector::from_string("110010");
+  EXPECT_EQ(v.slice(2, 3).to_string(), "001");
+  EXPECT_THROW(v.slice(4, 3), std::out_of_range);
+}
+
+TEST(BitVectorTest, HammingDistance) {
+  const auto a = BitVector::from_string("1010");
+  const auto b = BitVector::from_string("1001");
+  EXPECT_EQ(a.hamming_distance(b), 2u);
+  EXPECT_EQ(a.hamming_distance(a), 0u);
+  EXPECT_THROW(a.hamming_distance(BitVector::from_string("1")),
+               std::invalid_argument);
+}
+
+TEST(BitVectorTest, Equality) {
+  EXPECT_EQ(BitVector::from_string("01"), BitVector::from_string("01"));
+  EXPECT_NE(BitVector::from_string("01"), BitVector::from_string("10"));
+  EXPECT_NE(BitVector::from_string("01"), BitVector::from_string("010"));
+}
+
+// Property sweep: append/extract round-trips for many widths and values.
+class BitVectorRoundTrip : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BitVectorRoundTrip, AppendExtractIdentity) {
+  const unsigned nbits = GetParam();
+  const std::uint64_t mask =
+      nbits == 64 ? ~0ull : ((1ull << nbits) - 1);
+  for (std::uint64_t seed : {0ull, 1ull, 0xDEADBEEFCAFEBABEull,
+                             0x123456789ABCDEFull, ~0ull}) {
+    const std::uint64_t value = seed & mask;
+    BitVector v;
+    v.append_uint(0x2A, 6);  // preceding noise bits
+    v.append_uint(value, nbits);
+    EXPECT_EQ(v.extract_uint(6, nbits), value) << "nbits=" << nbits;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitVectorRoundTrip,
+                         ::testing::Values(1u, 3u, 8u, 16u, 24u, 28u, 32u,
+                                           48u, 64u));
+
+}  // namespace
+}  // namespace btsc::sim

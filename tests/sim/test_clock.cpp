@@ -1,0 +1,84 @@
+#include "sim/clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/environment.hpp"
+
+namespace btsc::sim {
+namespace {
+
+using namespace btsc::sim::literals;
+
+TEST(ClockTest, GeneratesExpectedEdgeCount) {
+  Environment env;
+  Clock clk(env, "clk", 1_us);  // 1 MHz, like the Bluetooth bit clock
+  env.run_until(100_us);
+  // run_until executes events at t <= bound: edges at 0..100 us inclusive.
+  EXPECT_EQ(clk.posedge_count(), 101u);
+}
+
+TEST(ClockTest, PosedgeTriggersProcess) {
+  Environment env;
+  Clock clk(env, "clk", 10_us);
+  int ticks = 0;
+  Process& p = env.register_process("count", [&] { ticks++; });
+  clk.posedge_event().add_sensitive(p);
+  env.run_until(95_us);
+  EXPECT_EQ(ticks, 10);  // edges at 0,10,...,90
+}
+
+TEST(ClockTest, StartOffsetDelaysFirstEdge) {
+  Environment env;
+  Clock clk(env, "clk", 10_us, 3_us);
+  SimTime first = SimTime::max();
+  Process& p = env.register_process("first", [&] {
+    if (first == SimTime::max()) first = env.now();
+  });
+  clk.posedge_event().add_sensitive(p);
+  env.run_until(100_us);
+  EXPECT_EQ(first, 3_us);
+}
+
+TEST(ClockTest, FiftyPercentDuty) {
+  Environment env;
+  Clock clk(env, "clk", 10_us);
+  std::vector<std::uint64_t> pos, neg;
+  Process& pp = env.register_process("p", [&] { pos.push_back(env.now().as_ns()); });
+  Process& pn = env.register_process("n", [&] { neg.push_back(env.now().as_ns()); });
+  clk.posedge_event().add_sensitive(pp);
+  clk.out().negedge_event().add_sensitive(pn);
+  env.run_until(30_us);
+  ASSERT_GE(pos.size(), 2u);
+  ASSERT_GE(neg.size(), 2u);
+  EXPECT_EQ(neg[0] - pos[0], 5000u);   // high for half the period
+  EXPECT_EQ(pos[1] - pos[0], 10000u);  // full period between posedges
+}
+
+TEST(ClockTest, StopHaltsToggling) {
+  Environment env;
+  Clock clk(env, "clk", 1_us);
+  env.run_until(10_us);
+  const auto edges = clk.posedge_count();
+  clk.stop();
+  env.run_until(20_us);
+  // At most one already-scheduled toggle may land after stop().
+  EXPECT_LE(clk.posedge_count(), edges + 1);
+}
+
+TEST(ClockTest, ZeroPeriodThrows) {
+  Environment env;
+  EXPECT_THROW(Clock(env, "clk", SimTime::zero()), std::invalid_argument);
+}
+
+TEST(ClockTest, NegedgeEventAccessor) {
+  Environment env;
+  Clock clk(env, "clk", 2_us);
+  int negs = 0;
+  Process& p = env.register_process("n", [&] { negs++; });
+  clk.out().negedge_event().add_sensitive(p);
+  env.run_until(10_us);
+  EXPECT_GE(negs, 4);
+}
+
+}  // namespace
+}  // namespace btsc::sim

@@ -1,0 +1,194 @@
+// Kernel scheduler semantics: timed callbacks, delta cycles, cancellation,
+// determinism. These tests pin down the evaluate/update contract that all
+// Bluetooth models rely on.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/environment.hpp"
+#include "sim/event.hpp"
+#include "sim/signal.hpp"
+#include "sim/time.hpp"
+
+namespace btsc::sim {
+namespace {
+
+using namespace btsc::sim::literals;
+
+TEST(SchedulerTest, StartsAtTimeZero) {
+  Environment env;
+  EXPECT_EQ(env.now(), SimTime::zero());
+}
+
+TEST(SchedulerTest, ScheduleRunsAtRequestedTime) {
+  Environment env;
+  SimTime fired = SimTime::max();
+  env.schedule(10_us, [&] { fired = env.now(); });
+  env.run_until(1_ms);
+  EXPECT_EQ(fired, 10_us);
+}
+
+TEST(SchedulerTest, RunUntilAdvancesToBoundWhenIdle) {
+  Environment env;
+  env.run_until(5_ms);
+  EXPECT_EQ(env.now(), 5_ms);
+}
+
+TEST(SchedulerTest, EventsFireInTimeOrder) {
+  Environment env;
+  std::vector<int> order;
+  env.schedule(30_us, [&] { order.push_back(3); });
+  env.schedule(10_us, [&] { order.push_back(1); });
+  env.schedule(20_us, [&] { order.push_back(2); });
+  env.run_until(1_ms);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SchedulerTest, SameTimeCallbacksFifoOrder) {
+  Environment env;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    env.schedule(10_us, [&, i] { order.push_back(i); });
+  }
+  env.run_until(1_ms);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SchedulerTest, NestedSchedulingFromCallback) {
+  Environment env;
+  std::vector<std::uint64_t> times;
+  std::function<void()> chain = [&] {
+    times.push_back(env.now().as_ns());
+    if (times.size() < 4) env.schedule(100_ns, chain);
+  };
+  env.schedule(0_ns, chain);
+  env.run_until(1_us);
+  EXPECT_EQ(times, (std::vector<std::uint64_t>{0, 100, 200, 300}));
+}
+
+TEST(SchedulerTest, ZeroDelayCallbackRunsAtSameTimeLater) {
+  Environment env;
+  bool inner = false;
+  env.schedule(5_us, [&] {
+    env.schedule(0_ns, [&] { inner = true; });
+  });
+  env.run_until(5_us);
+  EXPECT_TRUE(inner);
+  EXPECT_EQ(env.now(), 5_us);
+}
+
+TEST(SchedulerTest, CancelPreventsExecution) {
+  Environment env;
+  bool ran = false;
+  const TimerId id = env.schedule(10_us, [&] { ran = true; });
+  env.cancel(id);
+  env.run_until(1_ms);
+  EXPECT_FALSE(ran);
+}
+
+TEST(SchedulerTest, CancelAfterFireIsSafe) {
+  Environment env;
+  bool ran = false;
+  const TimerId id = env.schedule(10_us, [&] { ran = true; });
+  env.run_until(1_ms);
+  EXPECT_TRUE(ran);
+  env.cancel(id);  // must not crash or affect anything
+}
+
+TEST(SchedulerTest, RunUntilDoesNotExecuteBeyondBound) {
+  Environment env;
+  bool late = false;
+  env.schedule(2_ms, [&] { late = true; });
+  env.run_until(1_ms);
+  EXPECT_FALSE(late);
+  EXPECT_EQ(env.now(), 1_ms);
+  env.run_until(3_ms);
+  EXPECT_TRUE(late);
+}
+
+TEST(SchedulerTest, RunDurationIsRelative) {
+  Environment env;
+  env.run(1_ms);
+  env.run(1_ms);
+  EXPECT_EQ(env.now(), 2_ms);
+}
+
+TEST(SchedulerTest, IdleReflectsPendingWork) {
+  Environment env;
+  EXPECT_TRUE(env.idle());
+  env.schedule(1_us, [] {});
+  EXPECT_FALSE(env.idle());
+  env.run_until(1_ms);
+  EXPECT_TRUE(env.idle());
+}
+
+TEST(SchedulerTest, TimedEventNotifiesSensitiveProcess) {
+  Environment env;
+  Event ev(env, "ev");
+  int fired = 0;
+  Process& p = env.register_process("p", [&] { fired++; });
+  ev.add_sensitive(p);
+  ev.notify(100_us);
+  env.run_until(1_ms);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SchedulerTest, DeltaNotifyRunsProcessWithoutTimeAdvance) {
+  Environment env;
+  Event ev(env, "ev");
+  SimTime when = SimTime::max();
+  Process& p = env.register_process("p", [&] { when = env.now(); });
+  ev.add_sensitive(p);
+  env.schedule(7_us, [&] { ev.notify_delta(); });
+  env.run_until(1_ms);
+  EXPECT_EQ(when, 7_us);
+}
+
+TEST(SchedulerTest, ProcessNotQueuedTwicePerDelta) {
+  Environment env;
+  Event a(env, "a"), b(env, "b");
+  int runs = 0;
+  Process& p = env.register_process("p", [&] { runs++; });
+  a.add_sensitive(p);
+  b.add_sensitive(p);
+  env.schedule(1_us, [&] {
+    a.notify_delta();
+    b.notify_delta();
+  });
+  env.run_until(1_ms);
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(SchedulerTest, ActivationAndDeltaCountersAdvance) {
+  Environment env;
+  Event ev(env, "ev");
+  Process& p = env.register_process("p", [] {});
+  ev.add_sensitive(p);
+  const auto d0 = env.delta_count();
+  const auto a0 = env.process_activations();
+  env.schedule(1_us, [&] { ev.notify_delta(); });
+  env.run_until(1_ms);
+  EXPECT_GT(env.delta_count(), d0);
+  EXPECT_EQ(env.process_activations(), a0 + 1);
+}
+
+TEST(SchedulerTest, ManyTimersStressOrdering) {
+  Environment env;
+  std::vector<std::uint64_t> fired;
+  // Schedule in a scrambled deterministic order.
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const std::uint64_t t = (i * 7919) % 1000;
+    env.schedule(SimTime::us(t), [&fired, &env] {
+      fired.push_back(env.now().as_ns());
+    });
+  }
+  env.run_until(1_sec);
+  ASSERT_EQ(fired.size(), 1000u);
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    EXPECT_LE(fired[i - 1], fired[i]);
+  }
+}
+
+}  // namespace
+}  // namespace btsc::sim

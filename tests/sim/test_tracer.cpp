@@ -1,0 +1,114 @@
+#include "sim/tracer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "sim/environment.hpp"
+#include "sim/signal.hpp"
+
+namespace btsc::sim {
+namespace {
+
+using namespace btsc::sim::literals;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+class VcdTracerTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "btsc_tracer_test.vcd";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(VcdTracerTest, WritesWellFormedHeaderAndChanges) {
+  Environment env;
+  {
+    VcdTracer tracer(env, path_);
+    env.set_tracer(&tracer);
+    BoolSignal s(env, "dev.enable_rx_RF", false);
+    env.schedule(625_us, [&] { s.write(true); });
+    env.schedule(1250_us, [&] { s.write(false); });
+    env.run_until(2_ms);
+    tracer.close();
+  }
+  const std::string vcd = slurp(path_);
+  EXPECT_NE(vcd.find("$timescale 1ns $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$var wire 1 ! dev.enable_rx_RF $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$enddefinitions $end"), std::string::npos);
+  EXPECT_NE(vcd.find("#625000\n1!"), std::string::npos);
+  EXPECT_NE(vcd.find("#1250000\n0!"), std::string::npos);
+}
+
+TEST_F(VcdTracerTest, MultiBitSignalUsesVectorFormat) {
+  Environment env;
+  {
+    VcdTracer tracer(env, path_);
+    env.set_tracer(&tracer);
+    Signal<std::uint8_t> s(env, "dev.freq", 0);
+    env.schedule(1_us, [&] { s.write(0x4E); });
+    env.run_until(10_us);
+    tracer.close();
+  }
+  const std::string vcd = slurp(path_);
+  EXPECT_NE(vcd.find("$var wire 8"), std::string::npos);
+  EXPECT_NE(vcd.find("b01001110 !"), std::string::npos);
+}
+
+TEST_F(VcdTracerTest, DuplicateValueSuppressed) {
+  Environment env;
+  {
+    VcdTracer tracer(env, path_);
+    env.set_tracer(&tracer);
+    const TraceId id = tracer.declare("x", 1);
+    tracer.change(id, "1");
+    tracer.change(id, "1");  // suppressed
+    tracer.change(id, "0");
+    tracer.close();
+  }
+  const std::string vcd = slurp(path_);
+  // Exactly one "1!" and one "0!" after the header.
+  const auto first = vcd.find("1!");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(vcd.find("1!", first + 1), std::string::npos);
+}
+
+TEST_F(VcdTracerTest, DeclareAfterStartThrows) {
+  Environment env;
+  VcdTracer tracer(env, path_);
+  const TraceId id = tracer.declare("x", 1);
+  tracer.change(id, "1");
+  EXPECT_THROW(tracer.declare("y", 1), std::logic_error);
+}
+
+TEST_F(VcdTracerTest, UnopenablePathThrows) {
+  Environment env;
+  EXPECT_THROW(VcdTracer(env, "/nonexistent_dir_btsc/file.vcd"),
+               std::runtime_error);
+}
+
+TEST(RecordingTracerTest, KeepsNameAndTime) {
+  Environment env;
+  RecordingTracer tracer(env);
+  const TraceId a = tracer.declare("sig_a", 1);
+  const TraceId b = tracer.declare("sig_b", 8);
+  env.schedule(3_us, [&] {
+    tracer.change(a, "1");
+    tracer.change(b, "00000001");
+  });
+  env.run_until(10_us);
+  ASSERT_EQ(tracer.records().size(), 2u);
+  EXPECT_EQ(tracer.records()[0].name, "sig_a");
+  EXPECT_EQ(tracer.records()[0].time_ns, 3000u);
+  EXPECT_EQ(tracer.records()[1].name, "sig_b");
+  EXPECT_EQ(tracer.records()[1].value, "00000001");
+}
+
+}  // namespace
+}  // namespace btsc::sim
