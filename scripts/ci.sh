@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 verify (Release build + full ctest suite) plus an
+# ASan+UBSan build running the integration tests, so memory/UB bugs in the
+# end-to-end paths cannot regress silently.
+#
+#   scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+echo "=== tier-1: Release build + full test suite ==="
+cmake -B build -S .
+cmake --build build -j "$jobs"
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+echo "=== ASan+UBSan: integration tests ==="
+cmake -B build-asan -S . -DBTSC_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DBTSC_BUILD_BENCHES=OFF -DBTSC_BUILD_EXAMPLES=OFF
+cmake --build build-asan -j "$jobs" --target \
+      integration_test_link integration_test_multislave integration_test_noise_stress
+for t in integration_test_link integration_test_multislave integration_test_noise_stress; do
+  "./build-asan/tests/$t"
+done
+
+echo "=== CI OK ==="

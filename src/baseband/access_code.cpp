@@ -49,6 +49,7 @@ sim::BitVector sync_word(std::uint32_t lap) {
 sim::BitVector access_code(std::uint32_t lap, bool with_trailer) {
   const sim::BitVector sync = sync_word(lap);
   sim::BitVector out;
+  out.reserve(4 + kSyncWordBits + (with_trailer ? 4 : 0));
   // Preamble 0101/1010: alternating pattern ending opposite to the first
   // sync bit, so the edge keeps alternating into the sync word.
   const bool first = sync[0];

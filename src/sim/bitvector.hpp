@@ -35,6 +35,7 @@ class BitVector {
 
   std::size_t size() const { return bits_.size(); }
   bool empty() const { return bits_.empty(); }
+  void reserve(std::size_t n) { bits_.reserve(n); }
 
   bool operator[](std::size_t i) const { return bits_[i] != 0; }
   bool at(std::size_t i) const { return bits_.at(i) != 0; }

@@ -6,6 +6,10 @@
 // raw integers so that unit mistakes are caught at compile time.
 #pragma once
 
+#if (defined(_MSVC_LANG) ? _MSVC_LANG : __cplusplus) < 202002L
+#error "btsc requires C++20 (defaulted operator<=>/operator==); build with -std=c++20 or let CMake set it"
+#endif
+
 #include <compare>
 #include <cstdint>
 #include <limits>

@@ -1,0 +1,66 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace btsc::core {
+namespace {
+
+BenchArgs parse(std::initializer_list<const char*> argv) {
+  std::array<char*, 16> raw{};
+  int argc = 0;
+  raw[argc++] = const_cast<char*>("bench");
+  for (const char* a : argv) raw[argc++] = const_cast<char*>(a);
+  return BenchArgs::parse(argc, raw.data());
+}
+
+TEST(BenchArgsTest, DefaultsWithNoArguments) {
+  const auto a = parse({});
+  EXPECT_EQ(a.seeds, 0);
+  EXPECT_FALSE(a.quick);
+  EXPECT_FALSE(a.csv);
+}
+
+TEST(BenchArgsTest, ParsesQuickFlag) {
+  const auto a = parse({"--quick"});
+  EXPECT_TRUE(a.quick);
+  EXPECT_FALSE(a.csv);
+}
+
+TEST(BenchArgsTest, ParsesCsvFlag) {
+  const auto a = parse({"--csv"});
+  EXPECT_TRUE(a.csv);
+  EXPECT_FALSE(a.quick);
+}
+
+TEST(BenchArgsTest, ParsesSeedsValue) {
+  const auto a = parse({"--seeds", "25"});
+  EXPECT_EQ(a.seeds, 25);
+}
+
+TEST(BenchArgsTest, SeedsWithoutValueIsIgnored) {
+  const auto a = parse({"--seeds"});
+  EXPECT_EQ(a.seeds, 0);
+}
+
+TEST(BenchArgsTest, AllFlagsTogetherInAnyOrder) {
+  const auto a = parse({"--csv", "--seeds", "8", "--quick"});
+  EXPECT_TRUE(a.csv);
+  EXPECT_TRUE(a.quick);
+  EXPECT_EQ(a.seeds, 8);
+}
+
+TEST(BenchArgsTest, UnknownArgumentsAreIgnored) {
+  const auto a = parse({"--frobnicate", "7", "--quick"});
+  EXPECT_TRUE(a.quick);
+  EXPECT_EQ(a.seeds, 0);
+}
+
+TEST(BenchArgsTest, LastSeedsWins) {
+  const auto a = parse({"--seeds", "5", "--seeds", "9"});
+  EXPECT_EQ(a.seeds, 9);
+}
+
+}  // namespace
+}  // namespace btsc::core
