@@ -5,40 +5,11 @@
 // bench sweeps the backoff ceiling and reports the noiseless inquiry mean
 // and success probability against the paper's 1.28 s timeout, isolating
 // that design choice.
-#include "core/report.hpp"
-#include "core/system.hpp"
-#include "stats/accumulator.hpp"
+//
+// Thin wrapper over the "backoff" scenario; `btsc-sweep --scenario
+// backoff` runs the same sweep with the same flags.
+#include "runner/scenarios.hpp"
 
 int main(int argc, char** argv) {
-  using namespace btsc;
-  const auto args = core::BenchArgs::parse(argc, argv);
-  core::Report report(
-      "Ablation: inquiry backoff ceiling vs mean inquiry time and success "
-      "probability (noiseless, 1.28 s timeout; spec ceiling is 1023)",
-      args.csv);
-  report.columns({"backoff_max", "mean_TS", "ok", "runs"});
-
-  const int seeds = args.seeds > 0 ? args.seeds : (args.quick ? 8 : 30);
-  for (std::uint32_t backoff : {0u, 127u, 255u, 511u, 1023u, 2047u}) {
-    stats::Accumulator mean;
-    stats::RatioCounter ok;
-    for (int s = 0; s < seeds; ++s) {
-      core::SystemConfig sc;
-      sc.num_slaves = 1;
-      sc.seed = 500 + static_cast<std::uint64_t>(s);
-      sc.lc.inquiry_backoff_max_slots = backoff;
-      const auto r = [&] {
-        core::BluetoothSystem sys(sc);
-        return sys.run_inquiry();
-      }();
-      ok.add(r.success);
-      if (r.success) mean.add(static_cast<double>(r.slots));
-    }
-    report.row({static_cast<double>(backoff), mean.mean(),
-                static_cast<double>(ok.successes()),
-                static_cast<double>(ok.trials())});
-  }
-  report.note("larger ceilings push completions past the timeout: the "
-              "backoff trades collision avoidance against discovery time");
-  return 0;
+  return btsc::runner::run_scenario_main("backoff", argc, argv);
 }

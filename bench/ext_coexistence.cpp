@@ -6,59 +6,11 @@
 // of one saturated ACL link while a second, independent piconet ramps
 // its offered load on the same 79-channel medium, reporting goodput,
 // retransmission counts and observed collision samples.
-#include <memory>
-
-#include "core/coexistence.hpp"
-#include "core/report.hpp"
-#include "core/traffic.hpp"
+//
+// Thin wrapper over the "coexistence" scenario; `btsc-sweep --scenario
+// coexistence` runs the same sweep with the same flags.
+#include "runner/scenarios.hpp"
 
 int main(int argc, char** argv) {
-  using namespace btsc;
-  const auto args = core::BenchArgs::parse(argc, argv);
-  core::Report report(
-      "Extension: victim-link goodput vs neighbour piconet load (DM1 "
-      "traffic; independent hop sequences overlap on ~1/79 of slots)",
-      args.csv);
-  report.columns({"nbr_period", "goodput_kbps", "retx", "collisions"});
-
-  // Neighbour data period in slots; 0 = neighbour silent.
-  const std::uint32_t loads[] = {0, 64, 16, 8, 4, 2};
-  const sim::SimTime window =
-      baseband::kSlotDuration * (args.quick ? 8000u : 24000u);
-
-  for (std::uint32_t period : loads) {
-    core::CoexistenceConfig cfg;
-    cfg.seed = 2030;
-    core::TwoPiconets net(cfg);
-    if (!net.create(0) || !net.create(1)) {
-      report.note("piconet creation failed (unexpected)");
-      return 1;
-    }
-    std::uint64_t victim_bytes = 0;
-    lm::LinkManager::Events ev;
-    ev.user_data = [&](std::uint8_t, std::vector<std::uint8_t> d) {
-      victim_bytes += d.size();
-    };
-    net.slave_lm(0).set_events(std::move(ev));
-
-    core::SaturatingTrafficSource victim(net.master(0), 1, 17);
-    std::unique_ptr<core::PeriodicTrafficSource> neighbour;
-    if (period > 0) {
-      neighbour = std::make_unique<core::PeriodicTrafficSource>(
-          net.master(1), 1, period, 17);
-    }
-    const auto retx0 = net.master(0).lc().stats().retransmissions;
-    const auto coll0 = net.channel().collision_samples();
-    net.run(window);
-    report.row({static_cast<double>(period),
-                static_cast<double>(victim_bytes * 8) / window.as_sec() /
-                    1000.0,
-                static_cast<double>(
-                    net.master(0).lc().stats().retransmissions - retx0),
-                static_cast<double>(net.channel().collision_samples() -
-                                    coll0)});
-  }
-  report.note("nbr_period = neighbour's data period in slots (0 = "
-              "silent); smaller period = heavier interference");
-  return 0;
+  return btsc::runner::run_scenario_main("coexistence", argc, argv);
 }

@@ -4,39 +4,13 @@
 // The paper lists this trade-off as one of the analyses its model was
 // built for (Section 2): unprotected DH packets maximise goodput on a
 // clean channel, while FEC-protected DM packets win once the BER rises;
-// longer packets amplify both effects. This bench prints the full
-// type x BER matrix, exposing the crossovers.
-#include "baseband/packet.hpp"
-#include "core/experiments.hpp"
-#include "core/report.hpp"
+// longer packets amplify both effects. The full type x BER matrix is one
+// sweep, so every cell shards across the thread pool at once.
+//
+// Thin wrapper over the "throughput" scenario; `btsc-sweep --scenario
+// throughput` runs the same sweep with the same flags.
+#include "runner/scenarios.hpp"
 
 int main(int argc, char** argv) {
-  using namespace btsc;
-  using baseband::PacketType;
-  const auto args = core::BenchArgs::parse(argc, argv);
-  core::Report report(
-      "Extension: ACL goodput (kb/s) per packet type vs BER (saturated "
-      "master->slave link with 1-bit ARQ)",
-      args.csv);
-  report.columns({"1/BER", "DM1", "DH1", "DM3", "DH3", "DM5", "DH5"});
-
-  core::ThroughputConfig cfg;
-  cfg.measure_slots = args.quick ? 3000 : 8000;
-
-  const PacketType types[] = {PacketType::kDm1, PacketType::kDh1,
-                              PacketType::kDm3, PacketType::kDh3,
-                              PacketType::kDm5, PacketType::kDh5};
-  const double bers[] = {0.0,       1.0 / 5000, 1.0 / 1000,
-                         1.0 / 500, 1.0 / 200,  1.0 / 100};
-  for (double ber : bers) {
-    std::vector<double> row = {ber > 0 ? 1.0 / ber : 0.0};
-    for (PacketType t : types) {
-      row.push_back(core::run_throughput(t, ber, cfg).goodput_kbps);
-    }
-    report.row(row);
-  }
-  report.note("expected shape: clean-channel ceilings DH5 723 / DM5 478 "
-              "kb/s; DM types overtake DH as BER grows; short packets "
-              "degrade most gracefully");
-  return 0;
+  return btsc::runner::run_scenario_main("throughput", argc, argv);
 }

@@ -5,32 +5,11 @@
 // rising towards ~1800 slots at BER 1/30 (ID packets are the least
 // noise-sensitive, so the increase is modest). Means are over successful
 // runs, with the paper's 1.28 s (2048 slot) timeout.
-#include <cstdio>
-
-#include "core/experiments.hpp"
-#include "core/report.hpp"
+//
+// Thin wrapper over the "fig06" scenario; `btsc-sweep --fig 6` runs the
+// same sweep with the same flags.
+#include "runner/scenarios.hpp"
 
 int main(int argc, char** argv) {
-  using namespace btsc;
-  const auto args = core::BenchArgs::parse(argc, argv);
-  core::Report report(
-      "Fig. 6: mean slots to complete INQUIRY vs BER (paper: 1556 @ no "
-      "noise, ~1800 @ 1/30; successful runs, 1.28 s timeout)",
-      args.csv);
-  report.columns({"1/BER", "mean_TS", "ci95_TS", "runs_ok", "runs"});
-
-  core::CreationConfig cfg;
-  cfg.seeds = args.seeds > 0 ? args.seeds : (args.quick ? 8 : 40);
-
-  const double bers[] = {0.0,      1.0 / 100, 1.0 / 90, 1.0 / 80, 1.0 / 70,
-                         1.0 / 60, 1.0 / 50,  1.0 / 40, 1.0 / 30};
-  for (double ber : bers) {
-    const auto p = core::run_creation_point(ber, cfg);
-    report.row({ber > 0 ? 1.0 / ber : 0.0, p.inquiry_slots.mean(),
-                p.inquiry_slots.ci95_half_width(),
-                static_cast<double>(p.inquiry_ok.successes()),
-                static_cast<double>(p.inquiry_ok.trials())});
-  }
-  report.note("1/BER = 0 denotes the noiseless channel");
-  return 0;
+  return btsc::runner::run_scenario_main("fig06", argc, argv);
 }

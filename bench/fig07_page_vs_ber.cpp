@@ -3,34 +3,12 @@
 //
 // Paper reference points: ~17 slots without noise (the devices are
 // already synchronised by the inquiry clock estimate); completion becomes
-// impossible beyond BER ~1/30. Means are over successful runs. This
-// model's page response dialogue is single-shot (see DESIGN.md), so the
-// mean stays near the noiseless value while the success count collapses
-// with BER -- the failure behaviour itself is Fig. 8.
-#include "core/experiments.hpp"
-#include "core/report.hpp"
+// impossible beyond BER ~1/30. Means are over successful runs.
+//
+// Thin wrapper over the "fig07" scenario; `btsc-sweep --fig 7` runs the
+// same sweep with the same flags.
+#include "runner/scenarios.hpp"
 
 int main(int argc, char** argv) {
-  using namespace btsc;
-  const auto args = core::BenchArgs::parse(argc, argv);
-  core::Report report(
-      "Fig. 7: mean slots to complete PAGE vs BER (paper: 17 @ no noise; "
-      "impossible beyond ~1/30)",
-      args.csv);
-  report.columns({"1/BER", "mean_TS", "ci95_TS", "runs_ok", "attempted"});
-
-  core::CreationConfig cfg;
-  cfg.seeds = args.seeds > 0 ? args.seeds : (args.quick ? 8 : 40);
-
-  const double bers[] = {0.0,      1.0 / 100, 1.0 / 90, 1.0 / 80, 1.0 / 70,
-                         1.0 / 60, 1.0 / 50,  1.0 / 40, 1.0 / 30};
-  for (double ber : bers) {
-    const auto p = core::run_creation_point(ber, cfg);
-    report.row({ber > 0 ? 1.0 / ber : 0.0, p.page_slots.mean(),
-                p.page_slots.ci95_half_width(),
-                static_cast<double>(p.page_ok.successes()),
-                static_cast<double>(p.page_ok.trials())});
-  }
-  report.note("page is attempted only after a successful inquiry");
-  return 0;
+  return btsc::runner::run_scenario_main("fig07", argc, argv);
 }

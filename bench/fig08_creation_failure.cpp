@@ -5,33 +5,11 @@
 // Paper reference: inquiry failure grows gently (~20-45%); page failure
 // explodes beyond BER 1/50 and paging is essentially impossible at 1/30
 // -- "the bottleneck is therefore the page phase".
-#include "core/experiments.hpp"
-#include "core/report.hpp"
+//
+// Thin wrapper over the "fig08" scenario; `btsc-sweep --fig 8` runs the
+// same sweep with the same flags.
+#include "runner/scenarios.hpp"
 
 int main(int argc, char** argv) {
-  using namespace btsc;
-  const auto args = core::BenchArgs::parse(argc, argv);
-  core::Report report(
-      "Fig. 8: piconet creation failure probability vs BER (inquiry and "
-      "page curves; paper: page >95% failure beyond 1/40)",
-      args.csv);
-  report.columns({"1/BER", "inq_fail", "inq_lo", "inq_hi", "page_fail",
-                  "page_lo", "page_hi"});
-
-  core::CreationConfig cfg;
-  cfg.seeds = args.seeds > 0 ? args.seeds : (args.quick ? 10 : 40);
-
-  const double bers[] = {1.0 / 100, 1.0 / 90, 1.0 / 80, 1.0 / 70,
-                         1.0 / 60,  1.0 / 50, 1.0 / 40, 1.0 / 30};
-  for (double ber : bers) {
-    const auto p = core::run_creation_point(ber, cfg);
-    const auto [ilo, ihi] = p.inquiry_ok.wilson95();
-    const auto [plo, phi] = p.page_ok.wilson95();
-    report.row({1.0 / ber, 1.0 - p.inquiry_ok.ratio(), 1.0 - ihi, 1.0 - ilo,
-                1.0 - p.page_ok.ratio(), 1.0 - phi, 1.0 - plo});
-  }
-  report.note(
-      "page failure is conditional on inquiry success; both phases must "
-      "succeed to create the piconet");
-  return 0;
+  return btsc::runner::run_scenario_main("fig08", argc, argv);
 }

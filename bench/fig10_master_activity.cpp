@@ -5,31 +5,11 @@
 // (TX) at 2% duty, with the TX curve above the RX curve (the master
 // enables its receiver only in the slot following its own transmission,
 // per the polling scheme).
-#include "core/experiments.hpp"
-#include "core/report.hpp"
+//
+// Thin wrapper over the "fig10" scenario; `btsc-sweep --fig 10` runs the
+// same sweep with the same flags.
+#include "runner/scenarios.hpp"
 
 int main(int argc, char** argv) {
-  using namespace btsc;
-  const auto args = core::BenchArgs::parse(argc, argv);
-  core::Report report(
-      "Fig. 10: master RF activity vs duty cycle (paper: linear, TX above "
-      "RX, ~0.3% TX at 2% duty with short DM1 packets)",
-      args.csv);
-  report.columns({"duty_%", "tx_%", "rx_%", "total_%", "messages"});
-
-  core::MasterActivityConfig cfg;
-  cfg.measure_slots = args.quick ? 8000 : 40000;
-
-  const double duties[] = {0.0,   0.0025, 0.005, 0.0075, 0.01,
-                           0.0125, 0.015,  0.0175, 0.02};
-  for (double duty : duties) {
-    const auto row = core::run_master_activity(duty, cfg);
-    report.row({100.0 * duty, 100.0 * row.master.tx_fraction,
-                100.0 * row.master.rx_fraction,
-                100.0 * row.master.total(),
-                static_cast<double>(row.messages)});
-  }
-  report.note("payload: 1-byte DM1 (186 us on air), poll interval 4000 "
-              "slots to isolate traffic-driven activity");
-  return 0;
+  return btsc::runner::run_scenario_main("fig10", argc, argv);
 }

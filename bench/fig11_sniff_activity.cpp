@@ -1,33 +1,16 @@
-// Fig. 11 — RF activity (TX+RX) of the slave as a function of
-// Tsniff, active mode vs sniff mode, with the master transmitting data
-// every 100 slots.
+// Fig. 11 — RF activity (TX+RX) of the slave as a function of Tsniff,
+// active mode vs sniff mode, with the master transmitting data every 100
+// slots.
 //
 // Paper reference: the active curve is flat (~4.2%); the sniff curve
 // decreases with Tsniff, crossing the active line around Tsniff ~ 30 and
 // saving ~30% at Tsniff = 100 (the largest interval that loses no
 // packets given the 100-slot data period).
-#include "core/experiments.hpp"
-#include "core/report.hpp"
+//
+// Thin wrapper over the "fig11" scenario; `btsc-sweep --fig 11` runs the
+// same sweep with the same flags.
+#include "runner/scenarios.hpp"
 
 int main(int argc, char** argv) {
-  using namespace btsc;
-  const auto args = core::BenchArgs::parse(argc, argv);
-  core::Report report(
-      "Fig. 11: slave RF activity vs Tsniff, active vs sniff (master data "
-      "every 100 slots; paper: crossover ~30, saving at 100)",
-      args.csv);
-  report.columns({"Tsniff", "active_%", "sniff_%"});
-
-  core::SniffActivityConfig cfg;
-  cfg.measure_slots = args.quick ? 8000 : 30000;
-
-  const auto active = core::run_sniff_activity(std::nullopt, cfg);
-  for (std::uint32_t tsniff : {10u, 20u, 30u, 40u, 50u, 60u, 80u, 100u}) {
-    const auto sniff = core::run_sniff_activity(tsniff, cfg);
-    report.row({static_cast<double>(tsniff), 100.0 * active.slave.total(),
-                100.0 * sniff.slave.total()});
-  }
-  report.note("active slave: slot-start carrier sensing + data reception "
-              "+ ACKs + poll traffic");
-  return 0;
+  return btsc::runner::run_scenario_main("fig11", argc, argv);
 }

@@ -5,29 +5,11 @@
 // only); the hold curve decreases with Thold and crosses the active line
 // around Thold ~ 120 slots -- below that, the resynchronisation cost
 // after every hold outweighs the radio-off saving.
-#include "core/experiments.hpp"
-#include "core/report.hpp"
+//
+// Thin wrapper over the "fig12" scenario; `btsc-sweep --fig 12` runs the
+// same sweep with the same flags.
+#include "runner/scenarios.hpp"
 
 int main(int argc, char** argv) {
-  using namespace btsc;
-  const auto args = core::BenchArgs::parse(argc, argv);
-  core::Report report(
-      "Fig. 12: slave RF activity vs Thold, hold vs active (paper: active "
-      "flat 2.6%, crossover ~120 slots)",
-      args.csv);
-  report.columns({"Thold", "active_%", "hold_%"});
-
-  core::HoldActivityConfig cfg;
-  cfg.min_measure_slots = args.quick ? 8000 : 30000;
-
-  const auto active = core::run_hold_activity(std::nullopt, cfg);
-  for (std::uint32_t thold :
-       {40u, 80u, 120u, 160u, 200u, 400u, 600u, 800u, 1000u}) {
-    const auto hold = core::run_hold_activity(thold, cfg);
-    report.row({static_cast<double>(thold), 100.0 * active.slave.total(),
-                100.0 * hold.slave.total()});
-  }
-  report.note("hold cycles repeat back to back with an 8-slot gap; the "
-              "resync cost is ~2.5 slots of full listening per cycle");
-  return 0;
+  return btsc::runner::run_scenario_main("fig12", argc, argv);
 }

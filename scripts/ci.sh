@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 verify (Release build + full ctest suite) plus an
-# ASan+UBSan build running the integration tests, so memory/UB bugs in the
-# end-to-end paths cannot regress silently.
+# CI entry point: tier-1 verify (Release build + full ctest suite), the
+# API docs build when Doxygen is available, plus an ASan+UBSan build
+# running the integration tests and the threaded sweep-determinism test,
+# so memory/UB bugs and data races in the end-to-end paths cannot
+# regress silently.
 #
 #   scripts/ci.sh
 set -euo pipefail
@@ -14,12 +16,24 @@ cmake -B build -S .
 cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
 
-echo "=== ASan+UBSan: integration tests ==="
+if command -v doxygen >/dev/null 2>&1; then
+  echo "=== docs: Doxygen API reference ==="
+  cmake --build build --target docs
+else
+  echo "=== docs: skipped (doxygen not installed) ==="
+fi
+
+echo "=== ASan+UBSan: integration + threaded determinism tests ==="
 cmake -B build-asan -S . -DBTSC_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DBTSC_BUILD_BENCHES=OFF -DBTSC_BUILD_EXAMPLES=OFF
 cmake --build build-asan -j "$jobs" --target \
-      integration_test_link integration_test_multislave integration_test_noise_stress
-for t in integration_test_link integration_test_multislave integration_test_noise_stress; do
+      integration_test_link integration_test_multislave integration_test_noise_stress \
+      runner_test_sweep runner_test_determinism
+# runner_test_determinism shards real simulations across 8 threads under
+# the sanitizers: the bitwise-equality assertions double as a data-race
+# smoke for the whole sim -> phy -> baseband -> core stack.
+for t in integration_test_link integration_test_multislave integration_test_noise_stress \
+         runner_test_sweep runner_test_determinism; do
   "./build-asan/tests/$t"
 done
 

@@ -22,8 +22,11 @@
 namespace btsc::core {
 
 struct CoexistenceConfig {
+  /// Root seed of the two-piconet system.
   std::uint64_t seed = 1;
+  /// Channel bit error rate on the shared medium.
   double ber = 0.0;
+  /// ACL packet type used by both links.
   baseband::PacketType data_packet_type = baseband::PacketType::kDm1;
 };
 

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <stdexcept>
 
+#include "core/coexistence.hpp"
 #include "core/system.hpp"
 #include "core/traffic.hpp"
 
@@ -37,30 +40,69 @@ std::unique_ptr<BluetoothSystem> connected_system(
 
 }  // namespace
 
+void CreationPoint::add(const CreationSample& s) {
+  inquiry_ok.add(s.inquiry_success);
+  if (s.inquiry_success) {
+    inquiry_slots.add(static_cast<double>(s.inquiry_slots));
+  }
+  if (s.page_attempted) {
+    page_ok.add(s.page_success);
+    if (s.page_success) {
+      page_slots.add(static_cast<double>(s.page_slots));
+    }
+  }
+}
+
+void CreationPoint::merge(const CreationPoint& other) {
+  inquiry_slots.merge(other.inquiry_slots);
+  page_slots.merge(other.page_slots);
+  inquiry_ok.merge(other.inquiry_ok);
+  page_ok.merge(other.page_ok);
+}
+
+CreationSample run_creation_replication(double ber, std::uint64_t seed,
+                                        std::uint32_t timeout_slots) {
+  SystemConfig sc;
+  sc.num_slaves = 1;
+  sc.ber = ber;
+  sc.seed = seed;
+  sc.lc.inquiry_timeout_slots = timeout_slots;
+  sc.lc.page_timeout_slots = timeout_slots;
+  BluetoothSystem sys(sc);
+
+  CreationSample out;
+  const PhaseResult inquiry = sys.run_inquiry();
+  out.inquiry_success = inquiry.success;
+  out.inquiry_slots = inquiry.slots;
+  if (!inquiry.success) return out;
+
+  out.page_attempted = true;
+  const PhaseResult page = sys.run_page(0);
+  out.page_success = page.success;
+  out.page_slots = page.slots;
+  return out;
+}
+
 CreationPoint run_creation_point(double ber, const CreationConfig& cfg) {
   CreationPoint point;
   point.ber = ber;
   for (int s = 0; s < cfg.seeds; ++s) {
-    SystemConfig sc;
-    sc.num_slaves = 1;
-    sc.ber = ber;
-    sc.seed = cfg.base_seed + static_cast<std::uint64_t>(s);
-    sc.lc.inquiry_timeout_slots = cfg.timeout_slots;
-    sc.lc.page_timeout_slots = cfg.timeout_slots;
-    BluetoothSystem sys(sc);
-
-    const PhaseResult inquiry = sys.run_inquiry();
-    point.inquiry_ok.add(inquiry.success);
-    if (!inquiry.success) continue;
-    point.inquiry_slots.add(static_cast<double>(inquiry.slots));
-
-    const PhaseResult page = sys.run_page(0);
-    point.page_ok.add(page.success);
-    if (page.success) {
-      point.page_slots.add(static_cast<double>(page.slots));
-    }
+    point.add(run_creation_replication(
+        ber, cfg.base_seed + static_cast<std::uint64_t>(s),
+        cfg.timeout_slots));
   }
   return point;
+}
+
+BackoffSample run_backoff_replication(std::uint32_t backoff_max_slots,
+                                      std::uint64_t seed) {
+  SystemConfig sc;
+  sc.num_slaves = 1;
+  sc.seed = seed;
+  sc.lc.inquiry_backoff_max_slots = backoff_max_slots;
+  BluetoothSystem sys(sc);
+  const PhaseResult r = sys.run_inquiry();
+  return BackoffSample{r.success, r.slots};
 }
 
 MasterActivityRow run_master_activity(double duty,
@@ -194,6 +236,43 @@ ThroughputRow run_throughput(baseband::PacketType type, double ber,
       sys->master().lc().stats().retransmissions - retx_before;
   row.goodput_kbps = static_cast<double>((delivered_bytes - bytes_before) * 8) /
                      window.as_sec() / 1000.0;
+  return row;
+}
+
+CoexistenceRow run_coexistence(std::uint32_t neighbour_period_slots,
+                               const CoexistenceRunConfig& cfg) {
+  CoexistenceConfig cc;
+  cc.seed = cfg.seed;
+  TwoPiconets net(cc);
+  if (!net.create(0) || !net.create(1)) {
+    throw std::runtime_error("run_coexistence: piconet creation failed");
+  }
+
+  std::uint64_t victim_bytes = 0;
+  lm::LinkManager::Events ev;
+  ev.user_data = [&](std::uint8_t, std::vector<std::uint8_t> d) {
+    victim_bytes += d.size();
+  };
+  net.slave_lm(0).set_events(std::move(ev));
+
+  SaturatingTrafficSource victim(net.master(0), 1, cfg.payload_bytes);
+  std::unique_ptr<PeriodicTrafficSource> neighbour;
+  if (neighbour_period_slots > 0) {
+    neighbour = std::make_unique<PeriodicTrafficSource>(
+        net.master(1), 1, neighbour_period_slots, cfg.payload_bytes);
+  }
+  const auto retx0 = net.master(0).lc().stats().retransmissions;
+  const auto coll0 = net.channel().collision_samples();
+  const sim::SimTime window = kSlotDuration * cfg.measure_slots;
+  net.run(window);
+
+  CoexistenceRow row;
+  row.neighbour_period_slots = neighbour_period_slots;
+  row.goodput_kbps =
+      static_cast<double>(victim_bytes * 8) / window.as_sec() / 1000.0;
+  row.retransmissions =
+      net.master(0).lc().stats().retransmissions - retx0;
+  row.collision_samples = net.channel().collision_samples() - coll0;
   return row;
 }
 

@@ -1,5 +1,14 @@
 // Experiment runners: one function per figure of the paper, plus the
 // packet-type throughput analysis the paper names as a goal of the model.
+//
+// Two levels of API:
+//  * run_*_replication — ONE independent simulation from ONE seed. These
+//    are the bodies handed to runner::SweepRunner, which shards them
+//    across threads; they must derive all randomness from the seed they
+//    are given and touch no shared state.
+//  * run_* point/row functions — serial convenience wrappers aggregating
+//    a default replication count, used by the unit tests.
+//
 // Benches print the rows; tests run reduced configurations.
 #pragma once
 
@@ -14,38 +23,89 @@ namespace btsc::core {
 
 // ---- Figs. 6-8: piconet creation vs BER ----
 
+/// Knobs of the creation experiment (Figs. 6-8).
 struct CreationConfig {
+  /// Independent replications per BER point.
   int seeds = 20;
-  /// Paper: both timeouts fixed to 1.28 s (2048 slots).
+  /// Inquiry and page timeout, in slots. Paper: both 1.28 s (2048 slots).
   std::uint32_t timeout_slots = 2048;
+  /// First replication seed; replication s runs with base_seed + s.
   std::uint64_t base_seed = 1000;
 };
 
+/// Outcome of ONE 2-device creation attempt (one replication).
+struct CreationSample {
+  /// Inquiry completed before the timeout.
+  bool inquiry_success = false;
+  /// Slots the inquiry phase took (valid when inquiry_success).
+  std::uint64_t inquiry_slots = 0;
+  /// Page was attempted (i.e. inquiry succeeded).
+  bool page_attempted = false;
+  /// Page completed before the timeout.
+  bool page_success = false;
+  /// Slots the page phase took (valid when page_success).
+  std::uint64_t page_slots = 0;
+};
+
+/// Aggregate over many creation replications at one BER.
 struct CreationPoint {
+  /// Channel bit error rate of this parameter point.
   double ber = 0.0;
   /// Slots to complete, successful runs only (the paper's mean).
   stats::Accumulator inquiry_slots;
+  /// Slots to complete the page phase, successful runs only.
   stats::Accumulator page_slots;
   /// Success ratios; page is conditional on inquiry having succeeded.
   stats::RatioCounter inquiry_ok;
+  /// Page success ratio over the attempts that followed a successful
+  /// inquiry.
   stats::RatioCounter page_ok;
+
+  /// Folds one replication into the aggregate.
+  void add(const CreationSample& s);
+  /// Merges another point's partials (parallel reduction).
+  void merge(const CreationPoint& other);
 };
 
-/// Simulates `seeds` independent 2-device creations at the given BER.
+/// Runs ONE 2-device creation (inquiry, then page if the inquiry
+/// succeeded) at the given BER from the given seed.
+CreationSample run_creation_replication(double ber, std::uint64_t seed,
+                                        std::uint32_t timeout_slots);
+
+/// Simulates `cfg.seeds` independent 2-device creations at the given BER.
 CreationPoint run_creation_point(double ber, const CreationConfig& cfg);
+
+// ---- Ablation: inquiry backoff ceiling ----
+
+/// One noiseless inquiry run with a non-default random-backoff ceiling
+/// (the spec fixes 1023; the ablation sweeps it). Returns success and
+/// slots against the paper's 1.28 s timeout.
+struct BackoffSample {
+  bool success = false;
+  std::uint64_t slots = 0;
+};
+
+BackoffSample run_backoff_replication(std::uint32_t backoff_max_slots,
+                                      std::uint64_t seed);
 
 // ---- Fig. 10: master RF activity vs channel duty cycle ----
 
 struct MasterActivityRow {
-  double duty = 0.0;  // fraction of master TX slots carrying traffic
+  /// Fraction of master TX slots carrying traffic.
+  double duty = 0.0;
+  /// Measured TX/RX duty cycles of the master radio.
   RfActivity master;
+  /// Application messages handed to the link during the window.
   std::uint64_t messages = 0;
 };
 
 struct MasterActivityConfig {
+  /// Simulation seed (sweeps derive one per replication).
   std::uint64_t seed = 1;
+  /// Length of the measurement window, in slots.
   std::uint32_t measure_slots = 20000;
-  std::size_t payload_bytes = 1;  // short DM1 packets, as in the paper
+  /// Payload per message; 1-byte DM1 packets, as in the paper.
+  std::size_t payload_bytes = 1;
 };
 
 MasterActivityRow run_master_activity(double duty,
@@ -54,16 +114,21 @@ MasterActivityRow run_master_activity(double duty,
 // ---- Fig. 11: slave RF activity, active vs sniff ----
 
 struct SlaveActivityRow {
-  std::optional<std::uint32_t> mode_parameter;  // Tsniff or Thold (slots)
+  /// Tsniff or Thold in slots; nullopt for the active-mode baseline.
+  std::optional<std::uint32_t> mode_parameter;
+  /// Measured TX/RX duty cycles of the slave radio.
   RfActivity slave;
 };
 
 struct SniffActivityConfig {
+  /// Simulation seed (sweeps derive one per replication).
   std::uint64_t seed = 1;
   /// Master sends data to the slave with this fixed period (paper: 100).
   std::uint32_t data_period_slots = 100;
+  /// Length of the measurement window, in slots.
   std::uint32_t measure_slots = 20000;
-  std::size_t payload_bytes = 17;  // full DM1
+  /// Payload per message; 17 bytes = a full DM1.
+  std::size_t payload_bytes = 17;
 };
 
 /// tsniff == nullopt measures the active-mode baseline.
@@ -73,6 +138,7 @@ SlaveActivityRow run_sniff_activity(std::optional<std::uint32_t> tsniff,
 // ---- Fig. 12: slave RF activity, active vs hold ----
 
 struct HoldActivityConfig {
+  /// Simulation seed (sweeps derive one per replication).
   std::uint64_t seed = 1;
   /// Gap between consecutive hold cycles (covers resynchronisation).
   std::uint32_t inter_hold_gap_slots = 8;
@@ -89,19 +155,53 @@ SlaveActivityRow run_hold_activity(std::optional<std::uint32_t> thold,
 //      lists this analysis as a design goal of the model) ----
 
 struct ThroughputRow {
+  /// ACL packet type under test.
   baseband::PacketType type = baseband::PacketType::kDm1;
+  /// Channel bit error rate during the connected phase.
   double ber = 0.0;
+  /// Application-layer goodput over the measurement window.
   double goodput_kbps = 0.0;
+  /// Messages delivered to the slave's L2CAP during the window.
   std::uint64_t delivered_messages = 0;
+  /// Baseband retransmissions during the window.
   std::uint64_t retransmissions = 0;
 };
 
 struct ThroughputConfig {
+  /// Simulation seed (sweeps derive one per replication).
   std::uint64_t seed = 1;
+  /// Length of the measurement window, in slots.
   std::uint32_t measure_slots = 8000;
 };
 
 ThroughputRow run_throughput(baseband::PacketType type, double ber,
                              const ThroughputConfig& cfg);
+
+// ---- Extension: coexistence of two piconets on one 79-channel medium ----
+
+struct CoexistenceRow {
+  /// Neighbour master's data period in slots (0 = neighbour silent).
+  std::uint32_t neighbour_period_slots = 0;
+  /// Goodput of the saturated victim link over the window.
+  double goodput_kbps = 0.0;
+  /// Victim-link retransmissions during the window.
+  std::uint64_t retransmissions = 0;
+  /// Collided symbol samples observed by the shared channel.
+  std::uint64_t collision_samples = 0;
+};
+
+struct CoexistenceRunConfig {
+  /// Simulation seed (sweeps derive one per replication).
+  std::uint64_t seed = 2030;
+  /// Length of the measurement window, in slots.
+  std::uint32_t measure_slots = 24000;
+  /// Payload per message on both links (17 bytes = full DM1).
+  std::size_t payload_bytes = 17;
+};
+
+/// Builds two coexisting piconets, saturates the victim link and ramps
+/// the neighbour's offered load; one call = one replication.
+CoexistenceRow run_coexistence(std::uint32_t neighbour_period_slots,
+                               const CoexistenceRunConfig& cfg);
 
 }  // namespace btsc::core

@@ -12,8 +12,11 @@
 namespace btsc::core {
 
 struct RfActivity {
+  /// Fraction of wall-clock time the TX chain was enabled.
   double tx_fraction = 0.0;
+  /// Fraction of wall-clock time the RX chain was enabled.
   double rx_fraction = 0.0;
+  /// Combined RF duty cycle (the y-axis of Figs. 11-12).
   double total() const { return tx_fraction + rx_fraction; }
 };
 
@@ -47,8 +50,11 @@ class ActivityProbe {
 /// Bluetooth radio: ~30 mW in TX, ~33 mW in RX, tens of microwatts in
 /// standby with the RF chains gated off.
 struct PowerModel {
+  /// Power draw with the transmit chain enabled, in milliwatts.
   double tx_mw = 30.0;
+  /// Power draw with the receive chain enabled, in milliwatts.
   double rx_mw = 33.0;
+  /// Standby draw with both RF chains gated off, in milliwatts.
   double idle_mw = 0.05;
 
   double average_mw(const RfActivity& a) const {

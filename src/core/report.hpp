@@ -1,68 +1,270 @@
-// Plain-text table/series output for the figure-regeneration benches.
+// Result reporting for the figure benches and the btsc-sweep CLI.
 //
-// Every bench prints a header naming the figure it reproduces and rows in
-// a fixed-width layout (also valid CSV when `csv` is set), so results can
-// be compared side by side with the paper and plotted directly.
+// Two layers:
+//  * Reporter — an output backend interface with text (fixed-width
+//    table), CSV and JSON implementations writing to any std::ostream.
+//    JSON prints doubles with %.17g, so two runs producing bitwise-equal
+//    doubles serialise to byte-identical files (the determinism test's
+//    comparison key).
+//  * Report — the legacy stdout convenience wrapper the waveform benches
+//    still use; kept for compatibility.
 #pragma once
 
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <climits>
+#include <iostream>
+#include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace btsc::core {
 
+/// Output backend for one titled table of doubles. Call order contract:
+/// begin, meta*, columns, row*, note*, end.
+class Reporter {
+ public:
+  virtual ~Reporter() = default;
+
+  /// Starts a report with a human-readable title.
+  virtual void begin(const std::string& title) = 0;
+  /// Key/value metadata (threads, base seed, wall seconds...).
+  virtual void meta(const std::string& key, const std::string& value) = 0;
+  /// Names the columns of the rows that follow.
+  virtual void columns(const std::vector<std::string>& names) = 0;
+  /// Emits one data row (same arity as the column list).
+  virtual void row(const std::vector<double>& values) = 0;
+  /// Free-form annotation attached after the table.
+  virtual void note(const std::string& text) = 0;
+  /// Finishes the report (flushes structural output, e.g. the JSON
+  /// closing brace). Must be called exactly once.
+  virtual void end() = 0;
+};
+
+/// Fixed-width human-readable table (the classic bench stdout format).
+class TextReporter : public Reporter {
+ public:
+  explicit TextReporter(std::ostream& os) : os_(os) {}
+
+  void begin(const std::string& title) override {
+    os_ << "# " << title << "\n";
+  }
+  void meta(const std::string& key, const std::string& value) override {
+    os_ << "# " << key << ": " << value << "\n";
+  }
+  void columns(const std::vector<std::string>& names) override {
+    for (const auto& n : names) print_cell(n);
+    os_ << "\n";
+    for (std::size_t i = 0; i < names.size(); ++i) print_cell("-----");
+    os_ << "\n";
+  }
+  void row(const std::vector<double>& values) override {
+    char buf[32];
+    for (double v : values) {
+      std::snprintf(buf, sizeof(buf), "%14.4g", v);
+      os_ << buf;
+    }
+    os_ << "\n";
+  }
+  void note(const std::string& text) override {
+    os_ << "# " << text << "\n";
+  }
+  void end() override { os_.flush(); }
+
+ private:
+  void print_cell(const std::string& s) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%14s", s.c_str());
+    os_ << buf;
+  }
+  std::ostream& os_;
+};
+
+/// Comma-separated values: one header line, one line per row. Title,
+/// metadata and notes become '#' comment lines (ignored by CSV parsers).
+class CsvReporter : public Reporter {
+ public:
+  explicit CsvReporter(std::ostream& os) : os_(os) {}
+
+  void begin(const std::string& title) override {
+    os_ << "# " << title << "\n";
+  }
+  void meta(const std::string& key, const std::string& value) override {
+    os_ << "# " << key << ": " << value << "\n";
+  }
+  void columns(const std::vector<std::string>& names) override {
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      os_ << (i ? "," : "") << names[i];
+    }
+    os_ << "\n";
+  }
+  void row(const std::vector<double>& values) override {
+    char buf[32];
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      std::snprintf(buf, sizeof(buf), "%.17g", values[i]);
+      os_ << (i ? "," : "") << buf;
+    }
+    os_ << "\n";
+  }
+  void note(const std::string& text) override {
+    os_ << "# " << text << "\n";
+  }
+  void end() override { os_.flush(); }
+
+ private:
+  std::ostream& os_;
+};
+
+/// Single JSON object: {"title", "meta": {...}, "columns": [...],
+/// "rows": [[...]], "notes": [...]}. Doubles use %.17g (round-trip
+/// exact), so byte-identical output == bitwise-identical results.
+class JsonReporter : public Reporter {
+ public:
+  explicit JsonReporter(std::ostream& os) : os_(os) {}
+
+  void begin(const std::string& title) override {
+    os_ << "{\n  \"title\": " << quote(title);
+  }
+  void meta(const std::string& key, const std::string& value) override {
+    meta_.emplace_back(key, value);
+  }
+  void columns(const std::vector<std::string>& names) override {
+    names_ = names;
+  }
+  void row(const std::vector<double>& values) override {
+    rows_.push_back(values);
+  }
+  void note(const std::string& text) override { notes_.push_back(text); }
+
+  void end() override {
+    os_ << ",\n  \"meta\": {";
+    for (std::size_t i = 0; i < meta_.size(); ++i) {
+      os_ << (i ? ", " : "") << quote(meta_[i].first) << ": "
+          << quote(meta_[i].second);
+    }
+    os_ << "},\n  \"columns\": [";
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+      os_ << (i ? ", " : "") << quote(names_[i]);
+    }
+    os_ << "],\n  \"rows\": [";
+    char buf[32];
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      os_ << (r ? ",\n    " : "\n    ") << "[";
+      for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+        std::snprintf(buf, sizeof(buf), "%.17g", rows_[r][c]);
+        os_ << (c ? ", " : "") << buf;
+      }
+      os_ << "]";
+    }
+    os_ << (rows_.empty() ? "],\n" : "\n  ],\n") << "  \"notes\": [";
+    for (std::size_t i = 0; i < notes_.size(); ++i) {
+      os_ << (i ? ", " : "") << quote(notes_[i]);
+    }
+    os_ << "]\n}\n";
+    os_.flush();
+  }
+
+ private:
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char esc[8];
+            std::snprintf(esc, sizeof(esc), "\\u%04x", c);
+            out += esc;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += '"';
+    return out;
+  }
+
+  std::ostream& os_;
+  std::vector<std::pair<std::string, std::string>> meta_;
+  std::vector<std::string> names_;
+  std::vector<std::vector<double>> rows_;
+  std::vector<std::string> notes_;
+};
+
+/// Legacy stdout table writer used by the waveform benches (Figs. 5/9):
+/// a thin shell over TextReporter/CsvReporter on std::cout, so all table
+/// formatting has one source of truth. New code should use a Reporter
+/// backend directly.
 class Report {
  public:
   explicit Report(std::string title, bool csv = false)
-      : title_(std::move(title)), csv_(csv) {
-    std::printf("# %s\n", title_.c_str());
+      : text_(std::cout),
+        csv_(std::cout),
+        active_(csv ? static_cast<Reporter*>(&csv_) : &text_) {
+    active_->begin(title);
   }
+  ~Report() { active_->end(); }
 
   void columns(const std::vector<std::string>& names) {
-    names_ = names;
-    if (csv_) {
-      for (std::size_t i = 0; i < names.size(); ++i) {
-        std::printf("%s%s", i ? "," : "", names[i].c_str());
-      }
-      std::printf("\n");
-    } else {
-      for (const auto& n : names_) std::printf("%14s", n.c_str());
-      std::printf("\n");
-      for (std::size_t i = 0; i < names_.size(); ++i) std::printf("%14s", "-----");
-      std::printf("\n");
-    }
+    active_->columns(names);
   }
-
-  void row(const std::vector<double>& values) {
-    if (csv_) {
-      for (std::size_t i = 0; i < values.size(); ++i) {
-        std::printf("%s%.6g", i ? "," : "", values[i]);
-      }
-      std::printf("\n");
-    } else {
-      for (double v : values) std::printf("%14.4g", v);
-      std::printf("\n");
-    }
-  }
-
+  void row(const std::vector<double>& values) { active_->row(values); }
   /// Free-form annotation line (ignored by CSV parsers).
-  void note(const std::string& text) { std::printf("# %s\n", text.c_str()); }
+  void note(const std::string& text) { active_->note(text); }
 
  private:
-  std::string title_;
-  bool csv_;
-  std::vector<std::string> names_;
+  TextReporter text_;
+  CsvReporter csv_;
+  Reporter* active_;
 };
 
-/// Shared command-line knobs for the figure benches: --seeds N, --quick,
-/// --csv. Unknown arguments are ignored.
+/// Shared command-line knobs for the figure benches and btsc-sweep:
+/// --seeds/--replications N, --quick, --csv, --json, --threads N,
+/// --out FILE, --base-seed S, --max-points N. Unknown arguments are
+/// ignored (each main may parse extras of its own).
 struct BenchArgs {
-  int seeds = 0;      // 0 = bench default
+  /// Replications per point; 0 = scenario/bench default.
+  int seeds = 0;
+  /// Use the reduced configuration (fewer replications, shorter windows).
   bool quick = false;
+  /// Emit CSV instead of the fixed-width text table.
   bool csv = false;
+  /// Emit JSON instead of the fixed-width text table.
+  bool json = false;
+  /// Worker threads for sweep-backed benches; 0 = hardware concurrency.
+  int threads = 1;
+  /// Output file; empty = stdout. ".json"/".csv" suffixes select the
+  /// format unless --csv/--json already did.
+  std::string out;
+  /// Root seed override for sweep-backed benches; 0 = default.
+  std::uint64_t base_seed = 0;
+  /// Keep only the first N sweep points; 0 = all.
+  int max_points = 0;
 
   static BenchArgs parse(int argc, char** argv) {
+    // Malformed numeric values keep the previous value and warn, rather
+    // than being atoi-coerced to a silently different configuration.
+    auto parse_int = [](const std::string& flag, const char* text,
+                        int fallback) {
+      char* end = nullptr;
+      errno = 0;
+      const long v = std::strtol(text, &end, 10);
+      if (end == text || *end != '\0' || errno == ERANGE ||
+          v < INT_MIN || v > INT_MAX) {
+        std::fprintf(stderr,
+                     "warning: ignoring malformed or out-of-range %s "
+                     "value: %s\n",
+                     flag.c_str(), text);
+        return fallback;
+      }
+      return static_cast<int>(v);
+    };
     BenchArgs a;
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -70,8 +272,33 @@ struct BenchArgs {
         a.quick = true;
       } else if (arg == "--csv") {
         a.csv = true;
-      } else if (arg == "--seeds" && i + 1 < argc) {
-        a.seeds = std::atoi(argv[++i]);
+      } else if (arg == "--json") {
+        a.json = true;
+      } else if ((arg == "--seeds" || arg == "--replications") &&
+                 i + 1 < argc) {
+        a.seeds = parse_int(arg, argv[++i], a.seeds);
+      } else if (arg == "--threads" && i + 1 < argc) {
+        a.threads = parse_int(arg, argv[++i], a.threads);
+      } else if (arg == "--out" && i + 1 < argc) {
+        a.out = argv[++i];
+      } else if (arg == "--base-seed" && i + 1 < argc) {
+        char* end = nullptr;
+        const char* text = argv[++i];
+        errno = 0;
+        const std::uint64_t v = std::strtoull(text, &end, 10);
+        // strtoull wraps negatives and saturates past 2^64; both would
+        // silently land in a different reproducibility universe.
+        if (end == text || *end != '\0' || errno == ERANGE ||
+            text[0] == '-') {
+          std::fprintf(stderr,
+                       "warning: ignoring malformed or out-of-range "
+                       "--base-seed value: %s\n",
+                       text);
+        } else {
+          a.base_seed = v;
+        }
+      } else if (arg == "--max-points" && i + 1 < argc) {
+        a.max_points = parse_int(arg, argv[++i], a.max_points);
       }
     }
     return a;

@@ -22,8 +22,11 @@
 namespace btsc::core {
 
 struct SystemConfig {
+  /// Slaves to instantiate; device 0 is always the prospective master.
   int num_slaves = 1;
+  /// Channel bit error rate applied by the noisy channel.
   double ber = 0.0;
+  /// Root seed of the whole system (device streams are split from it).
   std::uint64_t seed = 1;
   /// Link controller configuration applied to every device.
   baseband::LcConfig lc;

@@ -1,0 +1,587 @@
+#include "runner/scenarios.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+
+#include "baseband/packet.hpp"
+#include "core/experiments.hpp"
+#include "core/report.hpp"
+#include "runner/sweep.hpp"
+#include "stats/accumulator.hpp"
+
+namespace btsc::runner {
+namespace {
+
+using baseband::PacketType;
+
+/// Per-point aggregate of the master-activity sweep (Fig. 10): TX/RX
+/// duty cycles plus the message count.
+struct ActivitySample {
+  stats::Accumulator tx;
+  stats::Accumulator rx;
+  stats::Accumulator messages;
+
+  void merge(const ActivitySample& o) {
+    tx.merge(o.tx);
+    rx.merge(o.rx);
+    messages.merge(o.messages);
+  }
+};
+
+/// Per-point aggregate of sweeps whose replications yield one scalar
+/// (slave activity total, goodput...).
+struct ScalarSample {
+  stats::Accumulator value;
+
+  void merge(const ScalarSample& o) { value.merge(o.value); }
+};
+
+/// Triple of accumulators for the coexistence study.
+struct CoexSample {
+  stats::Accumulator goodput;
+  stats::Accumulator retx;
+  stats::Accumulator collisions;
+
+  void merge(const CoexSample& o) {
+    goodput.merge(o.goodput);
+    retx.merge(o.retx);
+    collisions.merge(o.collisions);
+  }
+};
+
+/// Backoff-ablation aggregate: completion time over successful runs plus
+/// the success ratio.
+struct BackoffPoint {
+  stats::Accumulator slots;
+  stats::RatioCounter ok;
+
+  void merge(const BackoffPoint& o) {
+    slots.merge(o.slots);
+    ok.merge(o.ok);
+  }
+};
+
+/// Shared plumbing: resolves request defaults against the registry entry,
+/// trims the point list for reduced sweeps, runs and times the sweep, and
+/// stamps the result metadata. Each scenario formats its own rows from
+/// the returned per-point samples.
+template <class Point, class Sample>
+std::vector<Sample> sweep_points(
+    const ScenarioInfo& info, const ScenarioRequest& req,
+    std::vector<Point>& points, SweepResult& out,
+    const typename SweepRunner<Point, Sample>::Body& body) {
+  SweepOptions opt;
+  opt.threads = req.threads;
+  opt.replications = req.replications > 0
+                         ? req.replications
+                         : (req.quick ? info.quick_replications
+                                      : info.default_replications);
+  opt.base_seed = req.base_seed != 0 ? req.base_seed : info.default_base_seed;
+  opt.common_random_numbers = info.common_random_numbers;
+  if (req.max_points > 0 &&
+      static_cast<std::size_t>(req.max_points) < points.size()) {
+    points.resize(static_cast<std::size_t>(req.max_points));
+  }
+
+  out.id = info.id;
+  out.threads = resolve_thread_count(opt.threads);
+  out.replications = opt.replications;
+  out.base_seed = opt.base_seed;
+  out.quick = req.quick;
+  out.max_points = req.max_points;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto merged = SweepRunner<Point, Sample>(opt).run(points, body);
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return merged;
+}
+
+// ---- Figs. 6-8: creation vs BER ----
+
+const double kCreationBers[] = {0.0,      1.0 / 100, 1.0 / 90,
+                                1.0 / 80, 1.0 / 70,  1.0 / 60,
+                                1.0 / 50, 1.0 / 40,  1.0 / 30};
+
+std::vector<double> creation_points(bool include_noiseless) {
+  std::vector<double> bers;
+  for (double b : kCreationBers) {
+    if (b == 0.0 && !include_noiseless) continue;
+    bers.push_back(b);
+  }
+  return bers;
+}
+
+SweepRunner<double, core::CreationPoint>::Body creation_body() {
+  return [](const double& ber, const Replication& rep) {
+    core::CreationPoint p;
+    p.ber = ber;
+    p.add(core::run_creation_replication(ber, rep.seed, 2048));
+    return p;
+  };
+}
+
+SweepResult run_fig06(const ScenarioInfo& info, const ScenarioRequest& req) {
+  SweepResult out;
+  out.title =
+      "Fig. 6: mean slots to complete INQUIRY vs BER (paper: 1556 @ no "
+      "noise, ~1800 @ 1/30; successful runs, 1.28 s timeout)";
+  out.columns = {"1/BER", "mean_TS", "ci95_TS", "runs_ok", "runs"};
+  auto points = creation_points(true);
+  const auto merged = sweep_points<double, core::CreationPoint>(
+      info, req, points, out, creation_body());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& p = merged[i];
+    out.rows.push_back({points[i] > 0 ? 1.0 / points[i] : 0.0,
+                        p.inquiry_slots.mean(),
+                        p.inquiry_slots.ci95_half_width(),
+                        static_cast<double>(p.inquiry_ok.successes()),
+                        static_cast<double>(p.inquiry_ok.trials())});
+  }
+  out.notes.push_back("1/BER = 0 denotes the noiseless channel");
+  return out;
+}
+
+SweepResult run_fig07(const ScenarioInfo& info, const ScenarioRequest& req) {
+  SweepResult out;
+  out.title =
+      "Fig. 7: mean slots to complete PAGE vs BER (paper: 17 @ no noise; "
+      "impossible beyond ~1/30)";
+  out.columns = {"1/BER", "mean_TS", "ci95_TS", "runs_ok", "attempted"};
+  auto points = creation_points(true);
+  const auto merged = sweep_points<double, core::CreationPoint>(
+      info, req, points, out, creation_body());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& p = merged[i];
+    out.rows.push_back({points[i] > 0 ? 1.0 / points[i] : 0.0,
+                        p.page_slots.mean(), p.page_slots.ci95_half_width(),
+                        static_cast<double>(p.page_ok.successes()),
+                        static_cast<double>(p.page_ok.trials())});
+  }
+  out.notes.push_back("page is attempted only after a successful inquiry");
+  return out;
+}
+
+SweepResult run_fig08(const ScenarioInfo& info, const ScenarioRequest& req) {
+  SweepResult out;
+  out.title =
+      "Fig. 8: piconet creation failure probability vs BER (inquiry and "
+      "page curves; paper: page >95% failure beyond 1/40)";
+  out.columns = {"1/BER",     "inq_fail", "inq_lo", "inq_hi",
+                 "page_fail", "page_lo",  "page_hi"};
+  auto points = creation_points(false);
+  const auto merged = sweep_points<double, core::CreationPoint>(
+      info, req, points, out, creation_body());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& p = merged[i];
+    const auto [ilo, ihi] = p.inquiry_ok.wilson95();
+    const auto [plo, phi] = p.page_ok.wilson95();
+    out.rows.push_back({1.0 / points[i], 1.0 - p.inquiry_ok.ratio(),
+                        1.0 - ihi, 1.0 - ilo, 1.0 - p.page_ok.ratio(),
+                        1.0 - phi, 1.0 - plo});
+  }
+  out.notes.push_back(
+      "page failure is conditional on inquiry success; both phases must "
+      "succeed to create the piconet");
+  return out;
+}
+
+// ---- Fig. 10: master activity vs duty ----
+
+SweepResult run_fig10(const ScenarioInfo& info, const ScenarioRequest& req) {
+  SweepResult out;
+  out.title =
+      "Fig. 10: master RF activity vs duty cycle (paper: linear, TX above "
+      "RX, ~0.3% TX at 2% duty with short DM1 packets)";
+  out.columns = {"duty_%", "tx_%", "rx_%", "total_%", "messages"};
+  std::vector<double> points = {0.0,    0.0025, 0.005, 0.0075, 0.01,
+                                0.0125, 0.015,  0.0175, 0.02};
+  const std::uint32_t measure_slots = req.quick ? 8000 : 40000;
+  const auto merged = sweep_points<double, ActivitySample>(
+      info, req, points, out,
+      [measure_slots](const double& duty, const Replication& rep) {
+        core::MasterActivityConfig cfg;
+        cfg.seed = rep.seed;
+        cfg.measure_slots = measure_slots;
+        const auto row = core::run_master_activity(duty, cfg);
+        ActivitySample s;
+        s.tx.add(row.master.tx_fraction);
+        s.rx.add(row.master.rx_fraction);
+        s.messages.add(static_cast<double>(row.messages));
+        return s;
+      });
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& s = merged[i];
+    out.rows.push_back({100.0 * points[i], 100.0 * s.tx.mean(),
+                        100.0 * s.rx.mean(),
+                        100.0 * (s.tx.mean() + s.rx.mean()),
+                        s.messages.mean()});
+  }
+  out.notes.push_back(
+      "payload: 1-byte DM1 (186 us on air), poll interval 4000 slots to "
+      "isolate traffic-driven activity");
+  return out;
+}
+
+// ---- Figs. 11-12: slave activity in sniff / hold ----
+
+/// Shared shape of the two slave low-power figures: point 0 is the
+/// active-mode baseline (nullopt), later points sweep the mode
+/// parameter, and every data row pairs its value with the baseline
+/// column. The baseline rides along for free, so --max-points N means
+/// N *data* rows (baseline excluded).
+SweepResult run_baseline_vs_mode(
+    const ScenarioInfo& info, const ScenarioRequest& req, std::string title,
+    std::vector<std::string> columns,
+    std::vector<std::optional<std::uint32_t>> points, std::string note,
+    const std::function<double(const std::optional<std::uint32_t>&,
+                               std::uint64_t seed, bool quick)>& measure) {
+  SweepResult out;
+  out.title = std::move(title);
+  out.columns = std::move(columns);
+  ScenarioRequest with_baseline = req;
+  if (with_baseline.max_points > 0) ++with_baseline.max_points;
+  const bool quick = req.quick;
+  const auto merged =
+      sweep_points<std::optional<std::uint32_t>, ScalarSample>(
+          info, with_baseline, points, out,
+          [&measure, quick](const std::optional<std::uint32_t>& mode,
+                            const Replication& rep) {
+            ScalarSample s;
+            s.value.add(measure(mode, rep.seed, quick));
+            return s;
+          });
+  out.max_points = req.max_points;  // report the user's value, not the bump
+  const double active = merged[0].value.mean();
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    out.rows.push_back({static_cast<double>(*points[i]), 100.0 * active,
+                        100.0 * merged[i].value.mean()});
+  }
+  out.notes.push_back(std::move(note));
+  return out;
+}
+
+SweepResult run_fig11(const ScenarioInfo& info, const ScenarioRequest& req) {
+  return run_baseline_vs_mode(
+      info, req,
+      "Fig. 11: slave RF activity vs Tsniff, active vs sniff (master data "
+      "every 100 slots; paper: crossover ~30, saving at 100)",
+      {"Tsniff", "active_%", "sniff_%"},
+      {std::nullopt, 10u, 20u, 30u, 40u, 50u, 60u, 80u, 100u},
+      "active slave: slot-start carrier sensing + data reception + ACKs + "
+      "poll traffic",
+      [](const std::optional<std::uint32_t>& tsniff, std::uint64_t seed,
+         bool quick) {
+        core::SniffActivityConfig cfg;
+        cfg.seed = seed;
+        cfg.measure_slots = quick ? 8000 : 30000;
+        return core::run_sniff_activity(tsniff, cfg).slave.total();
+      });
+}
+
+SweepResult run_fig12(const ScenarioInfo& info, const ScenarioRequest& req) {
+  return run_baseline_vs_mode(
+      info, req,
+      "Fig. 12: slave RF activity vs Thold, hold vs active (paper: active "
+      "flat 2.6%, crossover ~120 slots)",
+      {"Thold", "active_%", "hold_%"},
+      {std::nullopt, 40u, 80u, 120u, 160u, 200u, 400u, 600u, 800u, 1000u},
+      "hold cycles repeat back to back with an 8-slot gap; the resync cost "
+      "is ~2.5 slots of full listening per cycle",
+      [](const std::optional<std::uint32_t>& thold, std::uint64_t seed,
+         bool quick) {
+        core::HoldActivityConfig cfg;
+        cfg.seed = seed;
+        cfg.min_measure_slots = quick ? 8000 : 30000;
+        return core::run_hold_activity(thold, cfg).slave.total();
+      });
+}
+
+// ---- Extension: packet type x BER throughput matrix ----
+
+struct ThroughputPoint {
+  PacketType type;
+  double ber;
+};
+
+SweepResult run_throughput_scenario(const ScenarioInfo& info,
+                                    const ScenarioRequest& req) {
+  SweepResult out;
+  out.title =
+      "Extension: ACL goodput (kb/s) per packet type vs BER (saturated "
+      "master->slave link with 1-bit ARQ)";
+  out.columns = {"1/BER", "DM1", "DH1", "DM3", "DH3", "DM5", "DH5"};
+  const PacketType types[] = {PacketType::kDm1, PacketType::kDh1,
+                              PacketType::kDm3, PacketType::kDh3,
+                              PacketType::kDm5, PacketType::kDh5};
+  const double bers[] = {0.0,       1.0 / 5000, 1.0 / 1000,
+                         1.0 / 500, 1.0 / 200,  1.0 / 100};
+  // Flatten the matrix so every (type, BER) cell is its own sweep point:
+  // the whole matrix shards across the pool at once.
+  std::vector<ThroughputPoint> points;
+  for (double ber : bers) {
+    for (PacketType t : types) points.push_back({t, ber});
+  }
+  const std::uint32_t measure_slots = req.quick ? 3000 : 8000;
+  const auto merged = sweep_points<ThroughputPoint, ScalarSample>(
+      info, req, points, out,
+      [measure_slots](const ThroughputPoint& p, const Replication& rep) {
+        core::ThroughputConfig cfg;
+        cfg.seed = rep.seed;
+        cfg.measure_slots = measure_slots;
+        const auto row = core::run_throughput(p.type, p.ber, cfg);
+        ScalarSample s;
+        s.value.add(row.goodput_kbps);
+        return s;
+      });
+  // A --max-points cut can land mid-row; rows must keep the declared
+  // column arity, so only complete BER rows are emitted and the cut is
+  // called out in a note instead of being silently swallowed.
+  const std::size_t ntypes = std::size(types);
+  for (std::size_t b = 0; b + 1 <= merged.size() / ntypes; ++b) {
+    const double ber = points[b * ntypes].ber;
+    std::vector<double> row = {ber > 0 ? 1.0 / ber : 0.0};
+    for (std::size_t t = 0; t < ntypes; ++t) {
+      row.push_back(merged[b * ntypes + t].value.mean());
+    }
+    out.rows.push_back(row);
+  }
+  if (const std::size_t rem = merged.size() % ntypes; rem != 0) {
+    out.notes.push_back("--max-points cut mid-row: dropped " +
+                        std::to_string(rem) +
+                        " trailing cell(s) of an incomplete BER row");
+  }
+  out.notes.push_back(
+      "expected shape: clean-channel ceilings DH5 723 / DM5 478 kb/s; DM "
+      "types overtake DH as BER grows; short packets degrade most "
+      "gracefully");
+  return out;
+}
+
+// ---- Extension: coexistence ----
+
+SweepResult run_coexistence_scenario(const ScenarioInfo& info,
+                                     const ScenarioRequest& req) {
+  SweepResult out;
+  out.title =
+      "Extension: victim-link goodput vs neighbour piconet load (DM1 "
+      "traffic; independent hop sequences overlap on ~1/79 of slots)";
+  out.columns = {"nbr_period", "goodput_kbps", "retx", "collisions"};
+  std::vector<std::uint32_t> points = {0, 64, 16, 8, 4, 2};
+  const std::uint32_t measure_slots = req.quick ? 8000 : 24000;
+  const auto merged = sweep_points<std::uint32_t, CoexSample>(
+      info, req, points, out,
+      [measure_slots](const std::uint32_t& period, const Replication& rep) {
+        core::CoexistenceRunConfig cfg;
+        cfg.seed = rep.seed;
+        cfg.measure_slots = measure_slots;
+        const auto row = core::run_coexistence(period, cfg);
+        CoexSample s;
+        s.goodput.add(row.goodput_kbps);
+        s.retx.add(static_cast<double>(row.retransmissions));
+        s.collisions.add(static_cast<double>(row.collision_samples));
+        return s;
+      });
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& s = merged[i];
+    out.rows.push_back({static_cast<double>(points[i]), s.goodput.mean(),
+                        s.retx.mean(), s.collisions.mean()});
+  }
+  out.notes.push_back(
+      "nbr_period = neighbour's data period in slots (0 = silent); "
+      "smaller period = heavier interference");
+  return out;
+}
+
+// ---- Ablation: inquiry backoff ceiling ----
+
+SweepResult run_backoff_scenario(const ScenarioInfo& info,
+                                 const ScenarioRequest& req) {
+  SweepResult out;
+  out.title =
+      "Ablation: inquiry backoff ceiling vs mean inquiry time and success "
+      "probability (noiseless, 1.28 s timeout; spec ceiling is 1023)";
+  out.columns = {"backoff_max", "mean_TS", "ok", "runs"};
+  std::vector<std::uint32_t> points = {0u, 127u, 255u, 511u, 1023u, 2047u};
+  const auto merged = sweep_points<std::uint32_t, BackoffPoint>(
+      info, req, points, out,
+      [](const std::uint32_t& backoff, const Replication& rep) {
+        const auto r = core::run_backoff_replication(backoff, rep.seed);
+        BackoffPoint p;
+        p.ok.add(r.success);
+        if (r.success) p.slots.add(static_cast<double>(r.slots));
+        return p;
+      });
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& p = merged[i];
+    out.rows.push_back({static_cast<double>(points[i]), p.slots.mean(),
+                        static_cast<double>(p.ok.successes()),
+                        static_cast<double>(p.ok.trials())});
+  }
+  out.notes.push_back(
+      "larger ceilings push completions past the timeout: the backoff "
+      "trades collision avoidance against discovery time");
+  return out;
+}
+
+using ScenarioFn =
+    SweepResult (*)(const ScenarioInfo&, const ScenarioRequest&);
+
+struct ScenarioEntry {
+  ScenarioInfo info;
+  ScenarioFn run;
+};
+
+const ScenarioEntry* find_entry(const std::string& id_or_figure);
+
+const std::vector<ScenarioEntry>& registry() {
+  static const std::vector<ScenarioEntry> entries = {
+      {{"fig06", "6",
+        "mean slots to complete the inquiry phase vs channel BER", 40, 8,
+        1000},
+       &run_fig06},
+      {{"fig07", "7", "mean slots to complete the page phase vs channel BER",
+        40, 8, 1000},
+       &run_fig07},
+      {{"fig08", "8",
+        "probability of failure of piconet creation (inquiry/page) vs BER",
+        40, 10, 1000},
+       &run_fig08},
+      {{"fig10", "10", "master RF activity (TX/RX) vs channel duty cycle", 1,
+        1, 1, true},
+       &run_fig10},
+      {{"fig11", "11", "slave RF activity vs Tsniff, active vs sniff mode",
+        1, 1, 1, true},
+       &run_fig11},
+      {{"fig12", "12", "slave RF activity vs Thold, hold vs active mode", 1,
+        1, 1, true},
+       &run_fig12},
+      {{"throughput", "",
+        "ACL goodput per packet type (DM/DH 1/3/5) vs BER", 1, 1, 1, true},
+       &run_throughput_scenario},
+      {{"coexistence", "",
+        "victim-link goodput vs neighbour piconet offered load", 1, 1, 2030,
+        true},
+       &run_coexistence_scenario},
+      {{"backoff", "",
+        "ablation: inquiry random-backoff ceiling vs discovery time", 30, 8,
+        500, true},
+       &run_backoff_scenario},
+  };
+  return entries;
+}
+
+const ScenarioEntry* find_entry(const std::string& id_or_figure) {
+  for (const auto& e : registry()) {
+    if (e.info.id == id_or_figure ||
+        (!e.info.figure.empty() && e.info.figure == id_or_figure)) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const std::vector<ScenarioInfo>& scenarios() {
+  static const std::vector<ScenarioInfo> infos = [] {
+    std::vector<ScenarioInfo> v;
+    for (const auto& e : registry()) v.push_back(e.info);
+    return v;
+  }();
+  return infos;
+}
+
+const ScenarioInfo* find_scenario(const std::string& id_or_figure) {
+  const ScenarioEntry* e = find_entry(id_or_figure);
+  return e ? &e->info : nullptr;
+}
+
+SweepResult run_scenario(const std::string& id_or_figure,
+                         const ScenarioRequest& request) {
+  const ScenarioEntry* e = find_entry(id_or_figure);
+  if (!e) throw std::invalid_argument("unknown scenario: " + id_or_figure);
+  return e->run(e->info, request);
+}
+
+void write_result(const SweepResult& result, core::Reporter& reporter) {
+  // Deliberately no thread count here: the report must be byte-identical
+  // at any parallelism, so only result-defining parameters are recorded
+  // (the CLI prints threads and wall time on stdout instead).
+  reporter.begin(result.title);
+  reporter.meta("scenario", result.id);
+  reporter.meta("replications", std::to_string(result.replications));
+  reporter.meta("base_seed", std::to_string(result.base_seed));
+  reporter.meta("quick", result.quick ? "1" : "0");
+  reporter.meta("max_points", std::to_string(result.max_points));
+  reporter.columns(result.columns);
+  for (const auto& row : result.rows) reporter.row(row);
+  for (const auto& note : result.notes) reporter.note(note);
+  reporter.end();
+}
+
+namespace {
+
+std::unique_ptr<core::Reporter> make_reporter(const core::BenchArgs& args,
+                                              std::ostream& os) {
+  // Explicit --json/--csv flags win; the --out suffix is only a fallback.
+  if (args.json) return std::make_unique<core::JsonReporter>(os);
+  if (args.csv) return std::make_unique<core::CsvReporter>(os);
+  if (args.out.ends_with(".json")) {
+    return std::make_unique<core::JsonReporter>(os);
+  }
+  if (args.out.ends_with(".csv")) {
+    return std::make_unique<core::CsvReporter>(os);
+  }
+  return std::make_unique<core::TextReporter>(os);
+}
+
+}  // namespace
+
+int run_scenario_main(const std::string& id, int argc, char** argv) {
+  const auto args = core::BenchArgs::parse(argc, argv);
+  ScenarioRequest req;
+  req.threads = args.threads;
+  req.replications = args.seeds;
+  req.quick = args.quick;
+  req.base_seed = args.base_seed;
+  req.max_points = args.max_points;
+
+  SweepResult result;
+  try {
+    result = run_scenario(id, req);
+  } catch (const std::exception& e) {
+    std::cerr << "btsc-sweep: " << e.what() << "\n";
+    return 1;
+  }
+
+  if (args.out.empty()) {
+    write_result(result, *make_reporter(args, std::cout));
+  } else {
+    std::ofstream file(args.out);
+    if (!file) {
+      std::cerr << "btsc-sweep: cannot open " << args.out << "\n";
+      return 1;
+    }
+    write_result(result, *make_reporter(args, file));
+    file.close();
+    if (!file) {
+      std::cerr << "btsc-sweep: write failed for " << args.out << "\n";
+      return 1;
+    }
+    std::cout << result.id << ": " << result.rows.size() << " points x "
+              << result.replications << " replications on " << result.threads
+              << " thread(s) in " << result.wall_seconds << " s -> "
+              << args.out << "\n";
+  }
+  return 0;
+}
+
+}  // namespace btsc::runner

@@ -1,0 +1,109 @@
+// Scenario registry: every Monte-Carlo figure of the paper (and the
+// extension studies) as a named, parameterised sweep over SweepRunner.
+//
+// A scenario maps a paper figure to (points, replication body, output
+// columns). The registry is what the unified `btsc-sweep` CLI and the
+// per-figure bench wrappers run; docs/SCENARIOS.md documents each entry.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace btsc::core {
+class Reporter;
+}
+
+namespace btsc::runner {
+
+/// Caller-side knobs of one scenario run. Zero-valued fields mean "use
+/// the scenario's default".
+struct ScenarioRequest {
+  /// Worker threads; 0 = hardware concurrency, 1 = serial.
+  int threads = 1;
+  /// Replications per parameter point; 0 = scenario default.
+  int replications = 0;
+  /// Use the scenario's reduced (--quick) replication count and windows.
+  bool quick = false;
+  /// Root seed of the deterministic per-replication derivation;
+  /// 0 = scenario default.
+  std::uint64_t base_seed = 0;
+  /// Keep only the first N parameter points (reduced sweeps for tests
+  /// and CI); 0 = all points.
+  int max_points = 0;
+};
+
+/// A completed sweep: a titled table plus the metadata needed to
+/// reproduce it. Consumed by the core::Reporter backends.
+struct SweepResult {
+  /// Registry id, e.g. "fig08".
+  std::string id;
+  /// Human-readable title (the bench header line).
+  std::string title;
+  /// Column names, one per entry of each row.
+  std::vector<std::string> columns;
+  /// One row per parameter point, in point order.
+  std::vector<std::vector<double>> rows;
+  /// Free-form annotations printed after the table.
+  std::vector<std::string> notes;
+  /// Worker threads actually used.
+  int threads = 1;
+  /// Replications per point actually used.
+  int replications = 1;
+  /// Base seed actually used.
+  std::uint64_t base_seed = 0;
+  /// Whether the reduced (--quick) windows/replications were used; part
+  /// of the result-defining configuration (it changes measurement
+  /// windows), so it is recorded in report metadata.
+  bool quick = false;
+  /// --max-points truncation applied to the sweep (0 = full point list);
+  /// recorded in metadata so a truncated artifact is distinguishable
+  /// from a complete run.
+  int max_points = 0;
+  /// Wall-clock duration of the sweep (excludes reporting).
+  double wall_seconds = 0.0;
+};
+
+/// Registry metadata of one scenario.
+struct ScenarioInfo {
+  /// Stable id used on the command line, e.g. "fig08" or "throughput".
+  std::string id;
+  /// Paper figure number ("8"), empty for extension/ablation studies.
+  std::string figure;
+  /// One-line description shown by `btsc-sweep --list`.
+  std::string summary;
+  /// Replications per point when the request does not override them.
+  int default_replications = 1;
+  /// Replications per point under --quick.
+  int quick_replications = 1;
+  /// Base seed when the request does not override it.
+  std::uint64_t default_base_seed = 1;
+  /// Runs every parameter point on the same replication seeds (common
+  /// random numbers), pairing cross-point comparisons — used by the
+  /// activity/throughput/coexistence figures whose rows are contrasted
+  /// against each other.
+  bool common_random_numbers = false;
+};
+
+/// All registered scenarios, in figure order.
+const std::vector<ScenarioInfo>& scenarios();
+
+/// Looks a scenario up by id ("fig08") or by bare figure number ("8");
+/// nullptr when unknown.
+const ScenarioInfo* find_scenario(const std::string& id_or_figure);
+
+/// Runs one scenario end to end (sharded via SweepRunner) and returns its
+/// table. Throws std::invalid_argument for an unknown id.
+SweepResult run_scenario(const std::string& id_or_figure,
+                         const ScenarioRequest& request);
+
+/// Streams a completed sweep through a reporter backend (begin .. end).
+void write_result(const SweepResult& result, core::Reporter& reporter);
+
+/// Complete main() body for a figure bench: parses the shared BenchArgs
+/// flags (--seeds/--replications, --quick, --threads, --csv/--json,
+/// --out, --base-seed, --max-points), runs `id`, and writes the result to
+/// stdout or the requested file. Returns the process exit code.
+int run_scenario_main(const std::string& id, int argc, char** argv);
+
+}  // namespace btsc::runner

@@ -1,0 +1,71 @@
+#include "runner/sweep.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace btsc::runner {
+
+int resolve_thread_count(int requested) {
+  if (requested > 0) return requested;
+  if (requested < 0) {
+    throw std::invalid_argument(
+        "thread count must be >= 0 (0 = hardware concurrency)");
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+namespace detail {
+
+void run_task_grid(std::size_t total, int threads,
+                   const std::function<void(std::size_t)>& task) {
+  if (total == 0) return;
+
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < total; ++i) task(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&] {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total) return;
+      try {
+        task(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  // The calling thread works too, so `threads` is the total parallelism.
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads - 1));
+  try {
+    for (int t = 0; t < threads - 1; ++t) pool.emplace_back(worker);
+  } catch (...) {
+    // Thread creation failed mid-spawn (resource exhaustion): stop the
+    // workers that did start and join them before surfacing the error,
+    // or ~thread on a joinable thread would call std::terminate.
+    failed.store(true, std::memory_order_relaxed);
+    for (auto& th : pool) th.join();
+    throw;
+  }
+  worker();
+  for (auto& th : pool) th.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace detail
+}  // namespace btsc::runner

@@ -1,0 +1,147 @@
+// Parallel Monte-Carlo sweep engine.
+//
+// Every figure of the paper is the same computation: for each parameter
+// point (a BER, a duty cycle, a Tsniff...) run N independent replications
+// of a simulation and aggregate their samples. SweepRunner factors that
+// pattern out once: it shards the (point, replication) task grid across a
+// std::thread pool and folds the per-replication samples back into one
+// aggregate per point.
+//
+// Determinism contract: the sample produced by replication r of point p
+// depends only on (p, r) — its seed is derived as a pure function
+// sim::Rng::derive_stream_seed(base_seed, p, r), never from shared state —
+// and samples are folded in replication order after all workers have
+// finished. The result is therefore bitwise identical at any thread
+// count, which the runner determinism test asserts for 1, 2 and 8
+// threads.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace btsc::runner {
+
+/// Identifies one replication of one parameter point within a sweep.
+struct Replication {
+  /// Index of the parameter point in the sweep's point vector.
+  std::size_t point_index = 0;
+  /// Index of this replication within the point, 0 <= i < replications.
+  std::size_t replication_index = 0;
+  /// Deterministically derived seed for this replication: a pure function
+  /// of (base_seed, point_index, replication_index). Simulations must draw
+  /// all their randomness from it.
+  std::uint64_t seed = 0;
+};
+
+/// Knobs of a sweep run.
+struct SweepOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency(). With 1
+  /// the sweep runs inline on the calling thread (no pool is spawned).
+  int threads = 1;
+  /// Independent replications per parameter point (>= 1).
+  int replications = 1;
+  /// Root of the per-replication seed derivation.
+  std::uint64_t base_seed = 1;
+  /// Common random numbers: replication r gets the SAME seed at every
+  /// parameter point (stream index 0 instead of the point index), so
+  /// cross-point comparisons within one figure are paired on identical
+  /// random streams — the variance-reduction scheme the activity and
+  /// coexistence figures rely on. Off by default: independent points
+  /// (e.g. BER curves with many replications) want distinct streams.
+  bool common_random_numbers = false;
+};
+
+/// Resolves the effective worker count: `requested` if positive, else the
+/// hardware concurrency (at least 1). Defined in sweep.cpp.
+int resolve_thread_count(int requested);
+
+namespace detail {
+
+/// Runs `task(i)` for every i in [0, total) on `threads` workers pulling
+/// from a shared atomic counter. Rethrows the first task exception on the
+/// calling thread after all workers have stopped. Defined in sweep.cpp.
+void run_task_grid(std::size_t total, int threads,
+                   const std::function<void(std::size_t)>& task);
+
+template <class S>
+concept MergeableSample = requires(S a, const S& b) { a.merge(b); };
+
+}  // namespace detail
+
+/// Shards a sweep's replication grid across a thread pool.
+///
+/// `Sample` is whatever one replication produces — a struct of
+/// stats::Accumulator / stats::RatioCounter partials, a plain row of
+/// numbers, anything movable. When replications > 1 it must expose
+/// `void merge(const Sample&)` (the parallel-reduction contract of
+/// stats::Accumulator::merge); with a single replication per point no
+/// merge is required.
+template <class Point, class Sample>
+class SweepRunner {
+ public:
+  /// point -> replication -> sample functor. Must not touch shared mutable
+  /// state: everything the simulation needs has to come from the point and
+  /// the replication's derived seed.
+  using Body = std::function<Sample(const Point&, const Replication&)>;
+
+  explicit SweepRunner(SweepOptions options = {}) : options_(options) {
+    if (options_.replications < 1) {
+      throw std::invalid_argument("SweepRunner: replications must be >= 1");
+    }
+  }
+
+  const SweepOptions& options() const { return options_; }
+
+  /// Runs the full grid and returns one merged sample per point, in point
+  /// order. Exceptions thrown by `body` are rethrown here (first wins).
+  std::vector<Sample> run(const std::vector<Point>& points,
+                          const Body& body) const {
+    const auto reps = static_cast<std::size_t>(options_.replications);
+    if constexpr (!detail::MergeableSample<Sample>) {
+      // Reject up front, before any (possibly expensive) simulation runs.
+      if (reps > 1) {
+        throw std::logic_error(
+            "SweepRunner: Sample lacks merge() but replications > 1");
+      }
+    }
+    const std::size_t total = points.size() * reps;
+    std::vector<std::optional<Sample>> samples(total);
+
+    detail::run_task_grid(
+        total, resolve_thread_count(options_.threads), [&](std::size_t i) {
+          Replication rep;
+          rep.point_index = i / reps;
+          rep.replication_index = i % reps;
+          rep.seed = sim::Rng::derive_stream_seed(
+              options_.base_seed,
+              options_.common_random_numbers ? 0 : rep.point_index,
+              rep.replication_index);
+          samples[i].emplace(body(points[rep.point_index], rep));
+        });
+
+    // Deterministic reduction: fold each point's replications in index
+    // order, independent of which worker computed them.
+    std::vector<Sample> merged;
+    merged.reserve(points.size());
+    for (std::size_t p = 0; p < points.size(); ++p) {
+      Sample acc = std::move(*samples[p * reps]);
+      if constexpr (detail::MergeableSample<Sample>) {
+        for (std::size_t r = 1; r < reps; ++r) {
+          acc.merge(*samples[p * reps + r]);
+        }
+      }
+      merged.push_back(std::move(acc));
+    }
+    return merged;
+  }
+
+ private:
+  SweepOptions options_;
+};
+
+}  // namespace btsc::runner

@@ -55,6 +55,19 @@ bool Rng::bernoulli(double p) {
   return uniform01() < p;
 }
 
+std::uint64_t Rng::derive_stream_seed(std::uint64_t base, std::uint64_t stream,
+                                      std::uint64_t index) {
+  // Chain three splitmix64 steps so every input word is fully mixed before
+  // the next one is folded in; distinct (base, stream, index) triples give
+  // uncorrelated seeds even for adjacent indices.
+  std::uint64_t x = base;
+  std::uint64_t s = splitmix64(x);
+  x = s ^ (stream * 0xBF58476D1CE4E5B9ull);
+  s = splitmix64(x);
+  x = s ^ (index * 0x94D049BB133111EBull);
+  return splitmix64(x);
+}
+
 Rng Rng::split() {
   Rng child;
   child.s_ = {next(), next(), next(), next()};

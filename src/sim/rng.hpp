@@ -45,6 +45,16 @@ class Rng {
   /// stream so adding a device never perturbs another device's randomness.
   Rng split();
 
+  /// Derives the seed of an independent stream addressed by a
+  /// (stream, index) pair under `base` — e.g. (point index, replication
+  /// index) in a Monte-Carlo sweep. Pure function of its arguments: the
+  /// result never depends on how many other streams exist or on the order
+  /// they are derived in, which is what makes sharded sweeps bitwise
+  /// reproducible at any thread count.
+  static std::uint64_t derive_stream_seed(std::uint64_t base,
+                                          std::uint64_t stream,
+                                          std::uint64_t index);
+
  private:
   std::array<std::uint64_t, 4> s_{};
 };

@@ -82,6 +82,13 @@ class RatioCounter {
   }
   std::size_t trials() const { return n_; }
   std::size_t successes() const { return k_; }
+
+  /// Merges another counter (parallel reduction); order-independent.
+  void merge(const RatioCounter& other) {
+    n_ += other.n_;
+    k_ += other.k_;
+  }
+
   double ratio() const {
     return n_ > 0 ? static_cast<double>(k_) / static_cast<double>(n_) : 0.0;
   }

@@ -62,5 +62,38 @@ TEST(BenchArgsTest, LastSeedsWins) {
   EXPECT_EQ(a.seeds, 9);
 }
 
+TEST(BenchArgsTest, ParsesThreadsOutAndMaxPoints) {
+  const auto a = parse({"--threads", "8", "--out", "x.json",
+                        "--max-points", "3", "--base-seed", "42"});
+  EXPECT_EQ(a.threads, 8);
+  EXPECT_EQ(a.out, "x.json");
+  EXPECT_EQ(a.max_points, 3);
+  EXPECT_EQ(a.base_seed, 42u);
+}
+
+TEST(BenchArgsTest, MalformedNumericValuesKeepDefaults) {
+  const auto a = parse({"--threads", "1x", "--seeds", "abc",
+                        "--max-points", "", "--base-seed", "zzz"});
+  EXPECT_EQ(a.threads, 1);  // default, not atoi("1x") == 1 by luck
+  EXPECT_EQ(a.seeds, 0);
+  EXPECT_EQ(a.max_points, 0);
+  EXPECT_EQ(a.base_seed, 0u);
+}
+
+TEST(BenchArgsTest, OutOfRangeNumericValuesKeepDefaults) {
+  // strtol/strtoull wraparound or saturation must not silently land in a
+  // different configuration or reproducibility universe.
+  const auto a = parse({"--seeds", "5000000000", "--base-seed", "-1",
+                        "--max-points", "99999999999999999999"});
+  EXPECT_EQ(a.seeds, 0);
+  EXPECT_EQ(a.base_seed, 0u);
+  EXPECT_EQ(a.max_points, 0);
+}
+
+TEST(BenchArgsTest, ReplicationsIsAnAliasForSeeds) {
+  const auto a = parse({"--replications", "12"});
+  EXPECT_EQ(a.seeds, 12);
+}
+
 }  // namespace
 }  // namespace btsc::core

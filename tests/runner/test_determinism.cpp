@@ -1,0 +1,92 @@
+// End-to-end determinism of the sweep engine: a reduced Fig. 8 sweep
+// must produce bitwise-identical rows — and byte-identical JSON — at 1,
+// 2 and 8 worker threads. This is the contract that makes parallel
+// reproduction of the paper's figures trustworthy, and it is the test
+// scripts/ci.sh runs under ASan+UBSan as a threaded data-race smoke.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+#include "core/report.hpp"
+#include "runner/scenarios.hpp"
+
+namespace btsc::runner {
+namespace {
+
+ScenarioRequest reduced_fig08_request(int threads) {
+  ScenarioRequest req;
+  req.threads = threads;
+  req.quick = true;
+  req.replications = 4;
+  req.max_points = 3;
+  return req;
+}
+
+std::string to_json(const SweepResult& result) {
+  std::ostringstream os;
+  core::JsonReporter reporter(os);
+  write_result(result, reporter);
+  return os.str();
+}
+
+TEST(SweepDeterminismTest, Fig08RowsBitwiseIdenticalAcrossThreadCounts) {
+  const SweepResult base = run_scenario("fig08", reduced_fig08_request(1));
+  ASSERT_EQ(base.rows.size(), 3u);
+  for (int threads : {2, 8}) {
+    const SweepResult other =
+        run_scenario("fig08", reduced_fig08_request(threads));
+    ASSERT_EQ(other.rows.size(), base.rows.size());
+    for (std::size_t r = 0; r < base.rows.size(); ++r) {
+      ASSERT_EQ(other.rows[r].size(), base.rows[r].size());
+      for (std::size_t c = 0; c < base.rows[r].size(); ++c) {
+        // Compare bit patterns, not values: even a last-ulp difference
+        // between thread counts would break reproducibility.
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(other.rows[r][c]),
+                  std::bit_cast<std::uint64_t>(base.rows[r][c]))
+            << "row " << r << " col " << c << " at " << threads
+            << " threads";
+      }
+    }
+  }
+}
+
+TEST(SweepDeterminismTest, Fig08JsonByteIdenticalAcrossThreadCounts) {
+  const std::string json1 = to_json(run_scenario("fig08", reduced_fig08_request(1)));
+  const std::string json8 = to_json(run_scenario("fig08", reduced_fig08_request(8)));
+  EXPECT_EQ(json1, json8);
+  // Sanity: the reduced sweep actually produced data.
+  EXPECT_NE(json1.find("\"rows\""), std::string::npos);
+  EXPECT_NE(json1.find("\"base_seed\": \"1000\""), std::string::npos);
+}
+
+TEST(SweepDeterminismTest, RepeatedRunsAreIdentical) {
+  // Same request twice on the same thread count: the engine must be free
+  // of any hidden global state (static RNGs, caches...).
+  const std::string a = to_json(run_scenario("fig08", reduced_fig08_request(2)));
+  const std::string b = to_json(run_scenario("fig08", reduced_fig08_request(2)));
+  EXPECT_EQ(a, b);
+}
+
+TEST(SweepDeterminismTest, BaseSeedChangesResults) {
+  // Different seed universes must give different samples. Fig. 6's
+  // noiseless mean inquiry time is a continuous statistic over the
+  // 0..1023-slot random backoff, so a collision between two 4-seed means
+  // is practically impossible.
+  ScenarioRequest req;
+  req.threads = 2;
+  req.quick = true;
+  req.replications = 4;
+  req.max_points = 1;  // BER 0 only
+  const SweepResult base = run_scenario("fig06", req);
+  req.base_seed = 424242;
+  const SweepResult reseeded = run_scenario("fig06", req);
+  ASSERT_EQ(base.rows.size(), 1u);
+  ASSERT_EQ(reseeded.rows.size(), 1u);
+  EXPECT_NE(base.rows[0][1], reseeded.rows[0][1]);  // mean_TS column
+}
+
+}  // namespace
+}  // namespace btsc::runner

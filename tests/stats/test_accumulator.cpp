@@ -63,6 +63,62 @@ TEST(AccumulatorTest, MergeMatchesSequential) {
   EXPECT_DOUBLE_EQ(left.max(), whole.max());
 }
 
+TEST(AccumulatorTest, MergeOfSingletonPartialsMatchesSequential) {
+  // The sweep engine folds one single-sample accumulator per replication;
+  // the folded statistics must agree with a plain sequential stream.
+  btsc::sim::Rng r(7);
+  Accumulator sequential, folded;
+  for (int i = 0; i < 200; ++i) {
+    const double x = r.uniform01() * 100.0 - 50.0;
+    sequential.add(x);
+    Accumulator single;
+    single.add(x);
+    folded.merge(single);
+  }
+  EXPECT_EQ(folded.count(), sequential.count());
+  EXPECT_NEAR(folded.mean(), sequential.mean(), 1e-10);
+  EXPECT_NEAR(folded.variance(), sequential.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(folded.min(), sequential.min());
+  EXPECT_DOUBLE_EQ(folded.max(), sequential.max());
+}
+
+TEST(AccumulatorTest, MergeIsAssociativeAcrossShardings) {
+  // Three shards merged ((a+b)+c) vs (a+(b+c)): statistics must agree to
+  // numerical tolerance regardless of the reduction tree.
+  btsc::sim::Rng r(11);
+  Accumulator a, b, c;
+  for (int i = 0; i < 300; ++i) {
+    const double x = r.uniform01() * 10.0;
+    (i % 3 == 0 ? a : i % 3 == 1 ? b : c).add(x);
+  }
+  Accumulator left = a;
+  left.merge(b);
+  left.merge(c);
+  Accumulator bc = b;
+  bc.merge(c);
+  Accumulator right = a;
+  right.merge(bc);
+  EXPECT_EQ(left.count(), right.count());
+  EXPECT_NEAR(left.mean(), right.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), right.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(left.min(), right.min());
+  EXPECT_DOUBLE_EQ(left.max(), right.max());
+}
+
+TEST(AccumulatorTest, MergePreservesExtremaAcrossManyPartials) {
+  Accumulator whole;
+  for (int shard = 0; shard < 8; ++shard) {
+    Accumulator part;
+    part.add(static_cast<double>(shard));
+    part.add(static_cast<double>(-shard));
+    whole.merge(part);
+  }
+  EXPECT_EQ(whole.count(), 16u);
+  EXPECT_DOUBLE_EQ(whole.min(), -7.0);
+  EXPECT_DOUBLE_EQ(whole.max(), 7.0);
+  EXPECT_DOUBLE_EQ(whole.mean(), 0.0);
+}
+
 TEST(AccumulatorTest, MergeWithEmptySides) {
   Accumulator a, b;
   a.add(1.0);
@@ -160,6 +216,28 @@ TEST(RatioCounterTest, EmptyIntervalIsFullRange) {
   const auto [lo, hi] = rc.wilson95();
   EXPECT_DOUBLE_EQ(lo, 0.0);
   EXPECT_DOUBLE_EQ(hi, 1.0);
+}
+
+TEST(RatioCounterTest, MergeAddsTrialsAndSuccesses) {
+  RatioCounter a, b;
+  for (int i = 0; i < 10; ++i) a.add(i < 4);   // 4/10
+  for (int i = 0; i < 30; ++i) b.add(i < 24);  // 24/30
+  a.merge(b);
+  EXPECT_EQ(a.trials(), 40u);
+  EXPECT_EQ(a.successes(), 28u);
+  EXPECT_DOUBLE_EQ(a.ratio(), 0.7);
+}
+
+TEST(RatioCounterTest, MergeWithEmptyIsIdentity) {
+  RatioCounter a, empty;
+  a.add(true);
+  a.add(false);
+  a.merge(empty);
+  EXPECT_EQ(a.trials(), 2u);
+  EXPECT_EQ(a.successes(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.trials(), 2u);
+  EXPECT_EQ(empty.successes(), 1u);
 }
 
 TEST(RatioCounterTest, ExtremesStayInBounds) {
