@@ -3,8 +3,19 @@
 // The paper reports its SystemC model simulating the 0.48 s four-device
 // creation scenario in 10'47" of CPU time -- 747 Bluetooth clock cycles
 // (1 MHz symbol clock) per wall-clock second. This bench measures the
-// same figure for this kernel, plus the raw scheduler throughput.
+// same figure for this kernel, plus the raw scheduler throughput and the
+// schedule/cancel churn the baseband state machines generate.
+//
+// The main() emits a "btsc_build_type" entry into the benchmark JSON
+// context: the build type the btsc library itself was compiled with.
+// google-benchmark's own "library_build_type" describes libbenchmark
+// (the distro ships a debug build of it), which says nothing about the
+// numbers measured here -- bench/run_benches keys off btsc_build_type
+// and refuses to record baselines from non-Release trees.
 #include <benchmark/benchmark.h>
+
+#include <functional>
+#include <vector>
 
 #include "core/system.hpp"
 #include "sim/clock.hpp"
@@ -55,6 +66,61 @@ void BM_TimerChain(benchmark::State& state) {
 }
 BENCHMARK(BM_TimerChain)->Unit(benchmark::kMillisecond);
 
+/// Scheduler churn: the schedule/cancel storm of the paper's 480 ms
+/// connection-creation scenario, distilled. Every half-slot tick the
+/// link controller arms a handful of guard timers (carrier-sense window
+/// closes, backoff, response-dialogue timeouts) and the next state
+/// transition cancels them before they fire, while long-lived timeouts
+/// (inquiry/page, 2+ s out) sit deep in the queue for the whole run.
+/// Counts kernel operations (schedule + cancel + fire) per second; a
+/// scheduler that merely forgets the callback on cancel still pays the
+/// queue traversal for every dead entry and scores accordingly.
+void BM_SchedulerChurn(benchmark::State& state) {
+  constexpr int kTicks = 1536;       // 480 ms of 312.5 us half-slots
+  constexpr int kGuardsPerTick = 8;  // rx-close / backoff / dialogue arms
+  constexpr int kStandingTimers = 64;
+  // Kernel operations per iteration: every schedule, every cancel and
+  // every dispatched callback (ticks plus the last tick's uncanceled
+  // guards; the standing timeouts stay pending for the whole run).
+  constexpr std::uint64_t kOpsPerIter =
+      (kStandingTimers + kTicks * (kGuardsPerTick + 1)) +  // schedules
+      (kTicks - 1) * kGuardsPerTick +                      // cancels
+      (kTicks + kGuardsPerTick);                           // fires
+  for (auto _ : state) {
+    sim::Environment env;
+    std::uint64_t fired = 0;
+    std::vector<sim::TimerId> guards;
+    guards.reserve(kGuardsPerTick);
+    // Standing timeouts that outlive the measurement window: they keep
+    // the heap deep so every churn operation pays realistic depth.
+    for (int i = 0; i < kStandingTimers; ++i) {
+      env.schedule(sim::SimTime::sec(2 + i), [] {});
+    }
+    int tick = 0;
+    std::function<void()> half_slot = [&] {
+      // The state moved on: cancel the previous tick's guards (they are
+      // armed 700+ us out, so none has fired yet).
+      for (sim::TimerId id : guards) env.cancel(id);
+      guards.clear();
+      for (int g = 0; g < kGuardsPerTick; ++g) {
+        guards.push_back(env.schedule(sim::SimTime::us(700 + 40 * g),
+                                      [&fired] { ++fired; }));
+      }
+      if (++tick < kTicks) {
+        env.schedule(sim::SimTime::ns(312'500), half_slot);
+      }
+    };
+    env.schedule(sim::SimTime::zero(), half_slot);
+    env.run_until(sim::SimTime::sec(1));
+    benchmark::DoNotOptimize(fired);
+  }
+  state.counters["events_per_s"] = benchmark::Counter(
+      static_cast<double>(kOpsPerIter) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SchedulerChurn)->Unit(benchmark::kMillisecond);
+
 /// Signal-driven process chain (delta-cycle throughput).
 void BM_ClockedProcess(benchmark::State& state) {
   for (auto _ : state) {
@@ -72,6 +138,28 @@ void BM_ClockedProcess(benchmark::State& state) {
 }
 BENCHMARK(BM_ClockedProcess)->Unit(benchmark::kMillisecond);
 
+/// Build type of the btsc library this bench links: "release" only when
+/// compiled with NDEBUG from a Release tree. Anything else taints the
+/// numbers and run_benches refuses to record them as the baseline.
+const char* btsc_build_type() {
+#ifndef NDEBUG
+  return "debug";
+#else
+#ifdef BTSC_CMAKE_BUILD_TYPE_RELEASE
+  return "release";
+#else
+  return "optimized-non-release";  // e.g. RelWithDebInfo
+#endif
+#endif
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("btsc_build_type", btsc_build_type());
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 verify (Release build + full ctest suite), the
-# API docs build when Doxygen is available, plus an ASan+UBSan build
-# running the integration tests and the threaded sweep-determinism test,
-# so memory/UB bugs and data races in the end-to-end paths cannot
-# regress silently.
+# API docs build when Doxygen is available, an ASan+UBSan build running
+# the kernel scheduler/tracer suites (timer-cancellation churn), the
+# integration tests and the threaded sweep-determinism test — so
+# memory/UB bugs and data races in the end-to-end paths cannot regress
+# silently — plus a metadata audit of the committed benchmark baseline.
 #
 #   scripts/ci.sh
 set -euo pipefail
@@ -23,16 +24,42 @@ else
   echo "=== docs: skipped (doxygen not installed) ==="
 fi
 
-echo "=== ASan+UBSan: integration + threaded determinism tests ==="
+echo "=== bench baseline: metadata audit ==="
+# The committed baseline must have been recorded from a Release tree.
+# bench/run_benches stamps the btsc build type into the JSON context and
+# rewrites library_build_type to match (the distro's debug libbenchmark
+# would otherwise mislabel it); a "debug"/missing stamp means someone
+# recorded numbers from the wrong tree.
+for key in library_build_type btsc_build_type; do
+  if ! grep -q "\"$key\": \"release\"" BENCH_kernel.json; then
+    echo "error: BENCH_kernel.json $key is not \"release\" — the committed" >&2
+    echo "       baseline was not recorded from a Release tree." >&2
+    echo "       Refresh it with bench/run_benches (uses build-bench/)." >&2
+    exit 1
+  fi
+done
+echo "BENCH_kernel.json metadata OK (release build)"
+
+echo "=== ASan+UBSan: kernel + integration + threaded determinism tests ==="
+# Drop -DNDEBUG from the RelWithDebInfo flags: the kernel's heap-invariant
+# asserts (stale heap indices, find_live consistency) must be armed here —
+# index corruption stays inside valid allocations, so the sanitizers alone
+# would never see it.
 cmake -B build-asan -S . -DBTSC_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCMAKE_CXX_FLAGS_RELWITHDEBINFO="-O2 -g" \
       -DBTSC_BUILD_BENCHES=OFF -DBTSC_BUILD_EXAMPLES=OFF
 cmake --build build-asan -j "$jobs" --target \
+      sim_test_scheduler sim_test_tracer \
       integration_test_link integration_test_multislave integration_test_noise_stress \
       runner_test_sweep runner_test_determinism
-# runner_test_determinism shards real simulations across 8 threads under
-# the sanitizers: the bitwise-equality assertions double as a data-race
-# smoke for the whole sim -> phy -> baseband -> core stack.
-for t in integration_test_link integration_test_multislave integration_test_noise_stress \
+# sim_test_scheduler/sim_test_tracer exercise the intrusive-heap timed
+# queue's cancellation paths (schedule/cancel churn, slot reuse, mid-
+# instant removal) with the kernel asserts armed and the sanitizers
+# watching. runner_test_determinism shards real simulations across 8 threads
+# under the sanitizers: the bitwise-equality assertions double as a
+# data-race smoke for the whole sim -> phy -> baseband -> core stack.
+for t in sim_test_scheduler sim_test_tracer \
+         integration_test_link integration_test_multislave integration_test_noise_stress \
          runner_test_sweep runner_test_determinism; do
   "./build-asan/tests/$t"
 done

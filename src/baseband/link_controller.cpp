@@ -185,15 +185,12 @@ void LinkController::enter_state(LcState s) {
 }
 
 void LinkController::cancel_timers() {
-  ++epoch_;
+  env().cancel_owned(this);
   radio_.disable_rx();
 }
 
 sim::TimerId LinkController::defer(SimTime delay, std::function<void()> fn) {
-  const std::uint64_t e = epoch_;
-  return env().schedule(delay, [this, e, fn = std::move(fn)] {
-    if (e == epoch_) fn();
-  });
+  return env().schedule(delay, std::move(fn), /*owner=*/this);
 }
 
 int LinkController::respmap(int freq, int n) {
@@ -440,7 +437,7 @@ void LinkController::inquiry_scan_on_result(const Receiver::Result& r) {
     enter_state(LcState::kInquiryResponse);
     const std::uint64_t slots =
         env().rng().uniform(0, config_.inquiry_backoff_max_slots);
-    backoff_timer_ = defer(kSlotDuration * slots, [this] {
+    defer(kSlotDuration * slots, [this] {
       in_backoff_ = false;  // next tick resumes the scan
     });
     return;
@@ -645,7 +642,7 @@ void LinkController::page_scan_on_result(const Receiver::Result& r) {
       });
     });
     // Abort the dialogue if the master goes silent.
-    dialogue_timer_ = defer(
+    defer(
         kSlotDuration * (4u * (config_.max_response_retries + 2u)), [this] {
           if (state_ == LcState::kSlaveResponse) {
             radio_.disable_rx();
@@ -863,7 +860,7 @@ void LinkController::master_on_packet(const Receiver::Result& r) {
 
 void LinkController::schedule_slave_slot(SimTime at) {
   const SimTime delay = at > env().now() ? at - env().now() : SimTime::zero();
-  slave_slot_timer_ = defer(delay, [this] { slave_slot_action(); });
+  defer(delay, [this] { slave_slot_action(); });
 }
 
 void LinkController::slave_slot_action() {

@@ -252,7 +252,13 @@ class LinkController final : public sim::Module {
   std::optional<std::uint8_t> connection_whiten(std::uint32_t clk) const;
   int connection_freq(std::uint32_t clk) const;
   static int respmap(int freq, int n);
+  /// Drops every pending deferred action of this controller (true kernel
+  /// cancellation via the owner tag) and shuts the receiver; called on
+  /// every enable_* command so a superseded activity leaves nothing
+  /// behind in the timed queue.
   void cancel_timers();
+  /// Schedules a one-shot action owned by this controller, so the next
+  /// cancel_timers() removes it if it has not fired yet.
   sim::TimerId defer(sim::SimTime delay, std::function<void()> fn);
   std::uint32_t slots_in_state() const { return ticks_in_state_ / 2; }
 
@@ -289,7 +295,6 @@ class LinkController final : public sim::Module {
   /// Master slot-grid anchor (learned from the page FHS arrival).
   sim::SimTime grid_anchor_ = sim::SimTime::zero();
   std::uint32_t clk_at_anchor_ = 0;
-  sim::TimerId slave_slot_timer_ = sim::kInvalidTimer;
   // Slave-side ARQ / queue.
   PacketBuffer my_tx_queue_;
   bool my_seqn_out_ = false;
@@ -308,7 +313,6 @@ class LinkController final : public sim::Module {
   // Scan side.
   bool backoff_armed_ = false;   // waiting for the second ID
   bool in_backoff_ = false;
-  sim::TimerId backoff_timer_ = sim::kInvalidTimer;
   int scan_freq_ = -1;
   /// Frequency of the first inquiry ID hit; the post-backoff listen
   /// reuses it (the inquirer keeps sweeping the same train).
@@ -320,13 +324,9 @@ class LinkController final : public sim::Module {
   int page_hit_freq_ = -1;
   int response_n_ = 0;
   int response_retries_ = 0;
-  sim::TimerId dialogue_timer_ = sim::kInvalidTimer;
   std::uint32_t fhs_clk_at_tx_ = 0;
 
   LcStats stats_;
-  /// Monotonic counter used to invalidate pending deferred actions when a
-  /// new command (enable_*) supersedes the current activity.
-  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace btsc::baseband

@@ -13,6 +13,7 @@
 #include "core/experiments.hpp"
 #include "core/report.hpp"
 #include "runner/sweep.hpp"
+#include "sim/environment.hpp"
 #include "stats/accumulator.hpp"
 
 namespace btsc::runner {
@@ -97,10 +98,21 @@ std::vector<Sample> sweep_points(
   out.max_points = req.max_points;
 
   const auto t0 = std::chrono::steady_clock::now();
+  const auto k0 = sim::Environment::global_scheduler_stats();
   auto merged = SweepRunner<Point, Sample>(opt).run(points, body);
+  const auto k1 = sim::Environment::global_scheduler_stats();
   out.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  // Every replication's environment is destroyed inside the grid run, so
+  // the counter delta is exactly this sweep's kernel traffic.
+  out.kernel.timers_scheduled = k1.scheduled - k0.scheduled;
+  out.kernel.timers_fired = k1.fired - k0.fired;
+  out.kernel.timers_canceled = k1.canceled - k0.canceled;
+  out.kernel.cancels_after_fire = k1.cancels_after_fire - k0.cancels_after_fire;
+  out.kernel.live_at_exit = k1.live - k0.live;
+  out.kernel.peak_heap = k1.peak_live;
+  out.kernel.peak_depth = k1.peak_depth;
   return merged;
 }
 
@@ -521,6 +533,21 @@ void write_result(const SweepResult& result, core::Reporter& reporter) {
   reporter.meta("base_seed", std::to_string(result.base_seed));
   reporter.meta("quick", result.quick ? "1" : "0");
   reporter.meta("max_points", std::to_string(result.max_points));
+  // Kernel timed-queue diagnostics: sums/maxima of per-replication
+  // deterministic counters, so they are thread-count invariant too.
+  reporter.meta("kernel_timers_scheduled",
+                std::to_string(result.kernel.timers_scheduled));
+  reporter.meta("kernel_timers_fired",
+                std::to_string(result.kernel.timers_fired));
+  reporter.meta("kernel_timers_canceled",
+                std::to_string(result.kernel.timers_canceled));
+  reporter.meta("kernel_cancels_after_fire",
+                std::to_string(result.kernel.cancels_after_fire));
+  reporter.meta("kernel_live_at_exit",
+                std::to_string(result.kernel.live_at_exit));
+  reporter.meta("kernel_peak_heap", std::to_string(result.kernel.peak_heap));
+  reporter.meta("kernel_peak_depth",
+                std::to_string(result.kernel.peak_depth));
   reporter.columns(result.columns);
   for (const auto& row : result.rows) reporter.row(row);
   for (const auto& note : result.notes) reporter.note(note);

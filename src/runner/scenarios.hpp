@@ -62,6 +62,31 @@ struct SweepResult {
   int max_points = 0;
   /// Wall-clock duration of the sweep (excludes reporting).
   double wall_seconds = 0.0;
+
+  /// Timed-queue health of the simulation kernels this sweep ran:
+  /// sim::Environment scheduler counters summed over every replication
+  /// (peak_heap/peak_depth are process-lifetime high-water maxima).
+  /// Every value is a sum or maximum of per-replication deterministic
+  /// quantities, so the block is identical at any thread count and safe
+  /// for byte-compared reports.
+  struct KernelDiag {
+    /// Timed entries pushed (one-shot callbacks + event notifications).
+    std::uint64_t timers_scheduled = 0;
+    /// Entries dispatched at their instant.
+    std::uint64_t timers_fired = 0;
+    /// Live entries physically removed by cancellation (the population
+    /// that would have rotted in the queue as dead entries before the
+    /// true-cancel heap).
+    std::uint64_t timers_canceled = 0;
+    /// cancel() no-ops on already-fired/stale handles.
+    std::uint64_t cancels_after_fire = 0;
+    /// Entries still pending when their environment was destroyed.
+    std::uint64_t live_at_exit = 0;
+    /// High-water timed-queue size across all environments so far.
+    std::uint64_t peak_heap = 0;
+    /// 4-ary heap levels at that high-water mark.
+    std::uint64_t peak_depth = 0;
+  } kernel;
 };
 
 /// Registry metadata of one scenario.

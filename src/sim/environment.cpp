@@ -1,14 +1,62 @@
 #include "sim/environment.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cassert>
 
 #include "sim/signal.hpp"
 
 namespace btsc::sim {
 
+namespace {
+
+/// Process-wide scheduler counters, folded in by ~Environment. The sweep
+/// engine destroys every replication's environment on a worker thread,
+/// hence atomics; sums and maxima of per-environment values are
+/// independent of the thread interleaving, so the aggregate stays
+/// deterministic at any thread count.
+struct GlobalStats {
+  std::atomic<std::uint64_t> scheduled{0};
+  std::atomic<std::uint64_t> fired{0};
+  std::atomic<std::uint64_t> canceled{0};
+  std::atomic<std::uint64_t> cancels_after_fire{0};
+  std::atomic<std::uint64_t> live_at_exit{0};
+  std::atomic<std::uint64_t> peak_live{0};
+};
+
+GlobalStats& global_stats() {
+  static GlobalStats g;
+  return g;
+}
+
+void atomic_max(std::atomic<std::uint64_t>& a, std::uint64_t v) {
+  std::uint64_t cur = a.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+/// TimerId layout: generation in the high 32 bits, slot+1 in the low 32
+/// (the +1 keeps every live id distinct from kInvalidTimer).
+constexpr TimerId make_id(std::uint32_t slot, std::uint32_t gen) {
+  return (static_cast<TimerId>(gen) << 32) |
+         (static_cast<TimerId>(slot) + 1);
+}
+
+}  // namespace
+
 Environment::Environment(std::uint64_t seed) : rng_(seed) {}
 
-Environment::~Environment() = default;
+Environment::~Environment() {
+  GlobalStats& g = global_stats();
+  g.scheduled.fetch_add(scheduled_, std::memory_order_relaxed);
+  g.fired.fetch_add(fired_, std::memory_order_relaxed);
+  g.canceled.fetch_add(canceled_, std::memory_order_relaxed);
+  g.cancels_after_fire.fetch_add(cancels_after_fire_,
+                                 std::memory_order_relaxed);
+  g.live_at_exit.fetch_add(heap_.size(), std::memory_order_relaxed);
+  atomic_max(g.peak_live, peak_live_);
+}
 
 void Environment::make_runnable(Process& p) {
   if (p.queued_) return;
@@ -18,19 +66,152 @@ void Environment::make_runnable(Process& p) {
 
 void Environment::request_update(SignalBase& s) { update_queue_.push_back(&s); }
 
-void Environment::notify_timed(Event& ev, SimTime abs_time) {
-  assert(abs_time >= now_);
-  timed_.push({abs_time, next_seq_++, &ev, kInvalidTimer});
+// ---------------------------------------------------------------------------
+// Timed queue: slab + index-tracked 4-ary min-heap
+// ---------------------------------------------------------------------------
+
+std::uint32_t Environment::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  slab_.emplace_back();
+  return static_cast<std::uint32_t>(slab_.size() - 1);
 }
 
-TimerId Environment::schedule(SimTime delay, std::function<void()> fn) {
-  const TimerId id = next_timer_++;
-  timers_.emplace(id, std::move(fn));
-  timed_.push({now_ + delay, next_seq_++, nullptr, id});
+void Environment::release_slot(std::uint32_t slot) {
+  TimerNode& n = slab_[slot];
+  ++n.gen;  // retire every outstanding TimerId for this slot
+  n.heap_pos = kNoHeapPos;
+  n.event = nullptr;
+  n.owner = nullptr;
+  n.fn = nullptr;
+  free_slots_.push_back(slot);
+}
+
+void Environment::heap_place(std::size_t pos, const HeapEntry& e) {
+  heap_[pos] = e;
+  slab_[e.slot].heap_pos = static_cast<std::uint32_t>(pos);
+}
+
+void Environment::sift_up(std::size_t pos) {
+  const HeapEntry moving = heap_[pos];
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / kHeapArity;
+    if (!entry_before(moving, heap_[parent])) break;
+    heap_place(pos, heap_[parent]);
+    pos = parent;
+  }
+  heap_place(pos, moving);
+}
+
+void Environment::sift_down(std::size_t pos) {
+  const HeapEntry moving = heap_[pos];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first = kHeapArity * pos + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + kHeapArity, n);
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (entry_before(heap_[c], heap_[best])) best = c;
+    }
+    if (!entry_before(heap_[best], moving)) break;
+    heap_place(pos, heap_[best]);
+    pos = best;
+  }
+  heap_place(pos, moving);
+}
+
+void Environment::heap_push(SimTime when, std::uint32_t slot) {
+  heap_.push_back({when, next_seq_++, slot});
+  slab_[slot].heap_pos = static_cast<std::uint32_t>(heap_.size() - 1);
+  sift_up(heap_.size() - 1);
+  ++scheduled_;
+  if (heap_.size() > peak_live_) peak_live_ = heap_.size();
+}
+
+void Environment::heap_remove_at(std::size_t pos) {
+  assert(pos < heap_.size());
+  const std::size_t last = heap_.size() - 1;
+  if (pos == last) {
+    heap_.pop_back();
+    return;
+  }
+  heap_[pos] = heap_[last];
+  heap_.pop_back();
+  // The displaced entry may belong above or below `pos`; both sifts end
+  // by re-placing it (fixing its heap_pos) even when it does not move.
+  if (pos > 0 && entry_before(heap_[pos], heap_[(pos - 1) / kHeapArity])) {
+    sift_up(pos);
+  } else {
+    sift_down(pos);
+  }
+}
+
+const Environment::TimerNode* Environment::find_live(TimerId id) const {
+  const std::uint32_t lo = static_cast<std::uint32_t>(id);
+  if (lo == 0) return nullptr;
+  const std::uint32_t slot = lo - 1;
+  if (slot >= slab_.size()) return nullptr;
+  const TimerNode& n = slab_[slot];
+  if (n.gen != static_cast<std::uint32_t>(id >> 32)) return nullptr;
+  assert(n.heap_pos != kNoHeapPos);  // live generation => in the heap
+  assert(n.event == nullptr);        // ids are only minted for callbacks
+  return &n;
+}
+
+void Environment::notify_timed(Event& ev, SimTime abs_time) {
+  assert(abs_time >= now_);
+  const std::uint32_t slot = acquire_slot();
+  slab_[slot].event = &ev;
+  heap_push(abs_time, slot);
+}
+
+TimerId Environment::schedule(SimTime delay, std::function<void()> fn,
+                              const void* owner) {
+  const std::uint32_t slot = acquire_slot();
+  TimerNode& n = slab_[slot];
+  n.owner = owner;
+  n.fn = std::move(fn);
+  const TimerId id = make_id(slot, n.gen);
+  heap_push(now_ + delay, slot);
   return id;
 }
 
-void Environment::cancel(TimerId id) { timers_.erase(id); }
+void Environment::cancel(TimerId id) {
+  if (id == kInvalidTimer) return;
+  const TimerNode* n = find_live(id);
+  if (n == nullptr) {
+    ++cancels_after_fire_;
+    return;
+  }
+  heap_remove_at(n->heap_pos);
+  release_slot(static_cast<std::uint32_t>(id) - 1);
+  ++canceled_;
+}
+
+void Environment::cancel_owned(const void* owner) {
+  if (owner == nullptr) return;
+  cancel_scratch_.clear();
+  for (const HeapEntry& e : heap_) {
+    if (slab_[e.slot].owner == owner) cancel_scratch_.push_back(e.slot);
+  }
+  for (const std::uint32_t slot : cancel_scratch_) {
+    heap_remove_at(slab_[slot].heap_pos);
+    release_slot(slot);
+    ++canceled_;
+  }
+}
+
+bool Environment::pending(TimerId id) const {
+  return find_live(id) != nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Processes, events, delta cycles
+// ---------------------------------------------------------------------------
 
 Process& Environment::register_process(std::string name,
                                        std::function<void()> fn) {
@@ -78,30 +259,32 @@ void Environment::settle() {
 }
 
 bool Environment::idle() const {
-  return next_runnable_.empty() && update_queue_.empty() && timed_.empty();
+  return next_runnable_.empty() && update_queue_.empty() && heap_.empty();
 }
 
 void Environment::run_until(SimTime until) {
   settle();
-  while (!timed_.empty()) {
-    const SimTime t = timed_.top().when;
+  while (!heap_.empty()) {
+    const SimTime t = heap_[0].when;
     if (t > until) break;
     now_ = t;
     // Pop every entry scheduled for this instant, then settle all deltas.
-    while (!timed_.empty() && timed_.top().when == now_) {
-      TimedEntry entry = timed_.top();
-      timed_.pop();
-      if (entry.event != nullptr) {
-        trigger(*entry.event);
+    // Only live entries exist, so every visited instant dispatches work.
+    while (!heap_.empty() && heap_[0].when == now_) {
+      const std::uint32_t slot = heap_[0].slot;
+      heap_remove_at(0);
+      TimerNode& node = slab_[slot];
+      ++fired_;
+      if (node.event != nullptr) {
+        Event* ev = node.event;
+        release_slot(slot);
+        trigger(*ev);
       } else {
-        auto it = timers_.find(entry.timer);
-        if (it != timers_.end()) {
-          // Move out first: the callback may schedule more timers and
-          // invalidate the iterator.
-          auto fn = std::move(it->second);
-          timers_.erase(it);
-          fn();
-        }
+        // Move out first: the callback may schedule more timers, and its
+        // slot must be reusable (and its id stale) while it runs.
+        auto fn = std::move(node.fn);
+        release_slot(slot);
+        fn();
       }
     }
     // The timed callbacks above form the evaluate phase of the first delta
@@ -111,6 +294,45 @@ void Environment::run_until(SimTime until) {
     settle();
   }
   if (now_ < until) now_ = until;
+}
+
+// ---------------------------------------------------------------------------
+// Diagnostics
+// ---------------------------------------------------------------------------
+
+std::uint64_t Environment::heap_depth(std::uint64_t n) {
+  std::uint64_t depth = 0, capacity = 0, level = 1;
+  while (capacity < n) {
+    capacity += level;
+    level *= kHeapArity;
+    ++depth;
+  }
+  return depth;
+}
+
+Environment::SchedulerStats Environment::scheduler_stats() const {
+  SchedulerStats s;
+  s.scheduled = scheduled_;
+  s.fired = fired_;
+  s.canceled = canceled_;
+  s.cancels_after_fire = cancels_after_fire_;
+  s.live = heap_.size();
+  s.peak_live = peak_live_;
+  s.peak_depth = heap_depth(peak_live_);
+  return s;
+}
+
+Environment::SchedulerStats Environment::global_scheduler_stats() {
+  const GlobalStats& g = global_stats();
+  SchedulerStats s;
+  s.scheduled = g.scheduled.load(std::memory_order_relaxed);
+  s.fired = g.fired.load(std::memory_order_relaxed);
+  s.canceled = g.canceled.load(std::memory_order_relaxed);
+  s.cancels_after_fire = g.cancels_after_fire.load(std::memory_order_relaxed);
+  s.live = g.live_at_exit.load(std::memory_order_relaxed);
+  s.peak_live = g.peak_live.load(std::memory_order_relaxed);
+  s.peak_depth = heap_depth(s.peak_live);
+  return s;
 }
 
 }  // namespace btsc::sim

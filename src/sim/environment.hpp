@@ -12,6 +12,27 @@
 //   4. advance  : when no delta work remains, pop the earliest timed
 //                 entries and repeat.
 //
+// Timed queue
+// -----------
+// All timed work (one-shot callbacks and timed event notifications) lives
+// in a single index-tracked 4-ary min-heap over a slab of timer nodes,
+// ordered by (when, seq): seq is a global schedule counter, so same-time
+// entries fire in FIFO order -- the determinism tiebreak every model
+// relies on. Each slab node knows its heap position, which makes
+// cancel() a true O(log n) *removal*: a canceled timer leaves no dead
+// entry behind, so idle() is exact, run_until() never visits the
+// timestamp of a fully-canceled instant, and queue memory is reclaimed
+// immediately (slab slots are recycled through a free list -- steady-
+// state scheduling performs no allocation beyond the callback's own
+// captures). TimerId handles encode (slot, generation); the generation
+// is bumped on every slot reuse, so a stale handle -- cancel after fire
+// -- is recognised and ignored instead of killing an unrelated timer.
+//
+// Timers may carry an owner tag (see schedule()); cancel_owned() removes
+// every live timer of one owner in a single call, which is how module
+// state machines drop all their pending deferred actions on a state
+// change without epoch-counter workarounds.
+//
 // The environment also owns the tracer (optional VCD output) and the root
 // random stream, so a whole simulation is reproducible from one seed.
 #pragma once
@@ -19,9 +40,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/event.hpp"
@@ -35,6 +54,7 @@ class SignalBase;
 class Tracer;
 
 /// Handle for a scheduled one-shot callback, usable to cancel it.
+/// Opaque encoding of (slab slot, generation); never 0 for a live timer.
 using TimerId = std::uint64_t;
 inline constexpr TimerId kInvalidTimer = 0;
 
@@ -60,7 +80,8 @@ class Environment {
   /// advancing time. Used by tests and by models that need settled signals.
   void settle();
 
-  /// True if nothing remains to execute.
+  /// True if nothing remains to execute. Canceled timers are physically
+  /// removed from the queue, so they never hold this false.
   bool idle() const;
 
   // ---- process / event plumbing (used by Event, Signal, Module) ----
@@ -69,11 +90,25 @@ class Environment {
   void notify_timed(Event& ev, SimTime abs_time);
 
   /// Schedules a one-shot callback at now()+delay (evaluate phase).
-  /// Returns a TimerId that can be passed to cancel().
-  TimerId schedule(SimTime delay, std::function<void()> fn);
+  /// Returns a TimerId that can be passed to cancel(). `owner` is an
+  /// optional tag for bulk cancellation via cancel_owned(); it is never
+  /// dereferenced.
+  TimerId schedule(SimTime delay, std::function<void()> fn,
+                   const void* owner = nullptr);
 
-  /// Cancels a previously scheduled callback; safe to call after it fired.
+  /// Cancels a previously scheduled callback: removes its queue entry in
+  /// O(log n). Safe (and a no-op) after the callback fired or for
+  /// kInvalidTimer -- slot generations make stale handles inert even when
+  /// the slot has been reused by a later timer.
   void cancel(TimerId id);
+
+  /// Cancels every live timer scheduled with this owner tag. O(n) scan of
+  /// the live queue plus O(log n) per removal; nullptr is a no-op.
+  void cancel_owned(const void* owner);
+
+  /// True while the timer is scheduled and has neither fired nor been
+  /// canceled.
+  bool pending(TimerId id) const;
 
   /// Registers a process owned by the caller's module; the environment
   /// stores it so sensitivity lists can reference stable addresses.
@@ -91,36 +126,93 @@ class Environment {
   std::uint64_t delta_count() const { return delta_count_; }
   std::uint64_t process_activations() const { return activations_; }
 
+  /// Timed-queue health counters. With true cancellation the queue holds
+  /// live entries only, so `live` is the exact amount of pending timed
+  /// work (the old kernel's dead-entry population is structurally zero;
+  /// `canceled` counts the entries that would have rotted there).
+  struct SchedulerStats {
+    /// Heap pushes: one-shot callbacks plus timed event notifications.
+    std::uint64_t scheduled = 0;
+    /// Entries popped and dispatched at their instant.
+    std::uint64_t fired = 0;
+    /// Live entries physically removed by cancel()/cancel_owned().
+    std::uint64_t canceled = 0;
+    /// cancel() calls that found nothing (already fired / stale handle).
+    std::uint64_t cancels_after_fire = 0;
+    /// Current heap size (for the global aggregate: entries still live
+    /// when their environment was destroyed).
+    std::uint64_t live = 0;
+    /// High-water heap size.
+    std::uint64_t peak_live = 0;
+    /// Levels of the 4-ary heap at the high-water mark.
+    std::uint64_t peak_depth = 0;
+  };
+  SchedulerStats scheduler_stats() const;
+
+  /// Process-wide aggregate over all destroyed environments (counters are
+  /// summed, peak_live is the maximum). Thread-safe; used by the sweep
+  /// reporter to surface kernel health across a whole Monte-Carlo grid.
+  static SchedulerStats global_scheduler_stats();
+
  private:
-  struct TimedEntry {
+  static constexpr std::size_t kHeapArity = 4;
+  static constexpr std::uint32_t kNoHeapPos = ~std::uint32_t{0};
+
+  /// One slab entry: a one-shot callback (event == nullptr) or a timed
+  /// event notification. Nodes are recycled through a free list; `gen`
+  /// distinguishes reuses so stale TimerIds cannot alias a new timer.
+  struct TimerNode {
+    std::uint32_t gen = 0;
+    std::uint32_t heap_pos = kNoHeapPos;
+    Event* event = nullptr;
+    const void* owner = nullptr;
+    std::function<void()> fn;
+  };
+
+  /// Heap entries carry the ordering key, so sift comparisons stay inside
+  /// the heap array instead of chasing slab nodes.
+  struct HeapEntry {
     SimTime when;
     std::uint64_t seq;  // FIFO order among same-time entries
-    Event* event;       // either an event ...
-    TimerId timer;      // ... or a callback (timer != 0)
-    bool operator>(const TimedEntry& o) const {
-      return when != o.when ? when > o.when : seq > o.seq;
-    }
+    std::uint32_t slot;
   };
 
   void run_delta();
   void commit_updates();
   void trigger(Event& ev);
 
+  static bool entry_before(const HeapEntry& a, const HeapEntry& b) {
+    return a.when != b.when ? a.when < b.when : a.seq < b.seq;
+  }
+  static std::uint64_t heap_depth(std::uint64_t n);
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+  void heap_place(std::size_t pos, const HeapEntry& e);
+  void sift_up(std::size_t pos);
+  void sift_down(std::size_t pos);
+  void heap_push(SimTime when, std::uint32_t slot);
+  void heap_remove_at(std::size_t pos);
+  const TimerNode* find_live(TimerId id) const;
+
   SimTime now_ = SimTime::zero();
   std::vector<Process*> runnable_;
   std::vector<Process*> next_runnable_;
   std::vector<SignalBase*> update_queue_;
-  std::priority_queue<TimedEntry, std::vector<TimedEntry>,
-                      std::greater<TimedEntry>>
-      timed_;
-  std::unordered_map<TimerId, std::function<void()>> timers_;
+  std::vector<TimerNode> slab_;
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<HeapEntry> heap_;
+  std::vector<std::uint32_t> cancel_scratch_;
   std::uint64_t next_seq_ = 1;
-  TimerId next_timer_ = 1;
   std::vector<std::unique_ptr<Process>> processes_;
   Rng rng_;
   Tracer* tracer_ = nullptr;
   std::uint64_t delta_count_ = 0;
   std::uint64_t activations_ = 0;
+  std::uint64_t scheduled_ = 0;
+  std::uint64_t fired_ = 0;
+  std::uint64_t canceled_ = 0;
+  std::uint64_t cancels_after_fire_ = 0;
+  std::uint64_t peak_live_ = 0;
 };
 
 }  // namespace btsc::sim

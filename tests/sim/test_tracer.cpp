@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "sim/environment.hpp"
 #include "sim/signal.hpp"
@@ -91,6 +93,45 @@ TEST_F(VcdTracerTest, UnopenablePathThrows) {
   Environment env;
   EXPECT_THROW(VcdTracer(env, "/nonexistent_dir_btsc/file.vcd"),
                std::runtime_error);
+}
+
+TEST_F(VcdTracerTest, CanceledTimersDoNotPerturbWaveform) {
+  // Regression for the old kernel: dead queue entries made run_until
+  // advance now_ through canceled instants. The waveform written while a
+  // schedule/cancel storm runs alongside must be byte-identical to one
+  // with no canceled timers at all.
+  auto run = [](Environment& env, const std::string& path,
+                bool with_canceled_storm) {
+    VcdTracer tracer(env, path);
+    env.set_tracer(&tracer);
+    BoolSignal s(env, "dev.enable_rx_RF", false);
+    std::vector<TimerId> dead;
+    if (with_canceled_storm) {
+      for (int i = 0; i < 16; ++i) {
+        dead.push_back(env.schedule(SimTime::us(100 + 10 * i), [] {}));
+      }
+    }
+    env.schedule(625_us, [&] { s.write(true); });
+    env.schedule(1250_us, [&] { s.write(false); });
+    for (TimerId id : dead) env.cancel(id);
+    env.run_until(2_ms);
+    tracer.close();
+  };
+  const std::string churn_path = ::testing::TempDir() + "btsc_churn.vcd";
+  std::string clean, churned;
+  {
+    Environment env;
+    run(env, path_, false);
+    clean = slurp(path_);
+  }
+  {
+    Environment env;
+    run(env, churn_path, true);
+    churned = slurp(churn_path);
+    std::remove(churn_path.c_str());
+  }
+  EXPECT_FALSE(clean.empty());
+  EXPECT_EQ(clean, churned);
 }
 
 TEST(RecordingTracerTest, KeepsNameAndTime) {
