@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 verify (Release build + full ctest suite), the
 # API docs build when Doxygen is available, an ASan+UBSan build running
-# the kernel scheduler/tracer suites (timer-cancellation churn), the
-# integration tests and the threaded sweep-determinism test — so
+# the kernel timing-wheel/scheduler/UniqueFunction/tracer suites
+# (timer-cancellation churn, wheel/heap boundary, callback lifetimes),
+# the integration tests and the threaded sweep-determinism test — so
 # memory/UB bugs and data races in the end-to-end paths cannot regress
-# silently — plus a metadata audit of the committed benchmark baseline.
+# silently — plus a metadata audit of the committed benchmark baseline
+# and a fig08/fig10 sweep byte-compare across 1/2/8 threads (the
+# timing-wheel swap-safety gate).
 #
 #   scripts/ci.sh
 set -euo pipefail
@@ -49,19 +52,50 @@ cmake -B build-asan -S . -DBTSC_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DCMAKE_CXX_FLAGS_RELWITHDEBINFO="-O2 -g" \
       -DBTSC_BUILD_BENCHES=OFF -DBTSC_BUILD_EXAMPLES=OFF
 cmake --build build-asan -j "$jobs" --target \
-      sim_test_scheduler sim_test_tracer \
+      sim_test_scheduler sim_test_timer_wheel sim_test_unique_function \
+      sim_test_tracer \
       integration_test_link integration_test_multislave integration_test_noise_stress \
       runner_test_sweep runner_test_determinism
-# sim_test_scheduler/sim_test_tracer exercise the intrusive-heap timed
-# queue's cancellation paths (schedule/cancel churn, slot reuse, mid-
-# instant removal) with the kernel asserts armed and the sanitizers
-# watching. runner_test_determinism shards real simulations across 8 threads
-# under the sanitizers: the bitwise-equality assertions double as a
-# data-race smoke for the whole sim -> phy -> baseband -> core stack.
-for t in sim_test_scheduler sim_test_tracer \
+# sim_test_scheduler/sim_test_timer_wheel/sim_test_tracer exercise the
+# timing-wheel timed queue's dispatch and cancellation paths (bucket
+# unlink, wheel/heap boundary, schedule/cancel churn, slot reuse, mid-
+# instant removal, the wheel-vs-heap VCD byte-compare) with the kernel
+# asserts armed and the sanitizers watching; sim_test_unique_function
+# covers the allocation-free callback type (inline/heap storage, move
+# lifetimes, capture destruction). runner_test_determinism shards real
+# simulations across 8 threads under the sanitizers: the bitwise-
+# equality assertions double as a data-race smoke for the whole
+# sim -> phy -> baseband -> core stack.
+for t in sim_test_scheduler sim_test_timer_wheel sim_test_unique_function \
+         sim_test_tracer \
          integration_test_link integration_test_multislave integration_test_noise_stress \
          runner_test_sweep runner_test_determinism; do
   "./build-asan/tests/$t"
+done
+
+echo "=== swap-safety gate: fig08/fig10 sweep byte-compare at 1/2/8 threads ==="
+# The timing-wheel swap must never change simulation results: the same
+# Monte-Carlo sweeps must produce byte-identical JSON (%.17g doubles,
+# kernel_* meta included) at any thread count. A divergence here means
+# the kernel dispatch order (the (when, seq) contract) broke.
+gate_dir=build/swap-gate
+mkdir -p "$gate_dir"
+for fig in 8 10; do
+  ref="$gate_dir/fig${fig}_1t.json"
+  ./build/bench/btsc-sweep --fig "$fig" --quick --seeds 8 --threads 1 \
+      --out "$ref" >/dev/null
+  for threads in 2 8; do
+    out="$gate_dir/fig${fig}_${threads}t.json"
+    ./build/bench/btsc-sweep --fig "$fig" --quick --seeds 8 \
+        --threads "$threads" --out "$out" >/dev/null
+    if ! cmp -s "$ref" "$out"; then
+      echo "error: fig$fig sweep output differs between 1 and $threads threads" >&2
+      echo "       (kernel dispatch-order contract violated; see" >&2
+      echo "       docs/ARCHITECTURE.md, 'Event kernel & timer lifecycle')" >&2
+      exit 1
+    fi
+  done
+  echo "fig$fig sweep byte-identical at 1/2/8 threads"
 done
 
 echo "=== CI OK ==="

@@ -189,7 +189,7 @@ void LinkController::cancel_timers() {
   radio_.disable_rx();
 }
 
-sim::TimerId LinkController::defer(SimTime delay, std::function<void()> fn) {
+sim::TimerId LinkController::defer(SimTime delay, sim::UniqueFunction fn) {
   return env().schedule(delay, std::move(fn), /*owner=*/this);
 }
 

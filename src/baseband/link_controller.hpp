@@ -258,8 +258,10 @@ class LinkController final : public sim::Module {
   /// behind in the timed queue.
   void cancel_timers();
   /// Schedules a one-shot action owned by this controller, so the next
-  /// cancel_timers() removes it if it has not fired yet.
-  sim::TimerId defer(sim::SimTime delay, std::function<void()> fn);
+  /// cancel_timers() removes it if it has not fired yet. The action is a
+  /// move-only sim::UniqueFunction: deferring never heap-allocates or
+  /// copies the capture.
+  sim::TimerId defer(sim::SimTime delay, sim::UniqueFunction fn);
   std::uint32_t slots_in_state() const { return ticks_in_state_ / 2; }
 
   // ---- identity & wiring ----

@@ -129,7 +129,7 @@ void LinkManager::detach(std::uint8_t lt, std::uint8_t reason) {
   }
 }
 
-void LinkManager::at_instant(std::uint32_t instant, std::function<void()> fn) {
+void LinkManager::at_instant(std::uint32_t instant, sim::UniqueFunction fn) {
   const std::uint32_t now = now_slot();
   const std::uint32_t wait_slots =
       (instant - now) & (kClockMask >> 1);  // wrap-tolerant

@@ -87,7 +87,7 @@ class LinkManager {
   void apply_my_half(std::uint8_t lt, const LmpPdu& request);
   void accept(std::uint8_t lt, const LmpPdu& request);
   /// Schedules `fn` at the piconet slot `instant` (CLK/2 units).
-  void at_instant(std::uint32_t instant, std::function<void()> fn);
+  void at_instant(std::uint32_t instant, sim::UniqueFunction fn);
   std::uint32_t now_slot() const {
     return (device_.lc().piconet_clock() & baseband::kClockMask) / 2;
   }

@@ -13,7 +13,7 @@ Radio::Radio(sim::Environment& env, std::string name, NoisyChannel& channel)
       enable_rx_(env, child_name("enable_rx_RF")) {}
 
 void Radio::transmit(int freq, sim::BitVector bits,
-                     std::function<void()> done) {
+                     sim::UniqueFunction done) {
   if (tx_busy_) {
     throw std::logic_error(name() + ": transmit while TX busy");
   }

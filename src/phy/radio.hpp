@@ -23,6 +23,7 @@
 #include "sim/module.hpp"
 #include "sim/signal.hpp"
 #include "sim/time.hpp"
+#include "sim/unique_function.hpp"
 
 namespace btsc::phy {
 
@@ -36,11 +37,11 @@ class Radio final : public sim::Module {
   // ---- transmitter ----
 
   /// Starts transmitting `bits` on RF channel `freq`, one bit per
-  /// microsecond starting now. `done` (optional) runs right after the
-  /// last bit ends and the medium is released. Requires the transmitter
-  /// to be idle.
+  /// microsecond starting now. `done` (optional, move-only) runs right
+  /// after the last bit ends and the medium is released. Requires the
+  /// transmitter to be idle.
   void transmit(int freq, sim::BitVector bits,
-                std::function<void()> done = {});
+                sim::UniqueFunction done = {});
 
   /// Aborts an in-progress transmission and releases the medium.
   void abort_tx();
@@ -95,7 +96,7 @@ class Radio final : public sim::Module {
   int tx_freq_ = 0;
   sim::BitVector tx_bits_;
   std::size_t tx_pos_ = 0;
-  std::function<void()> tx_done_;
+  sim::UniqueFunction tx_done_;
   sim::TimerId tx_timer_ = sim::kInvalidTimer;
 
   // RX state

@@ -1,6 +1,5 @@
 #include "sim/environment.hpp"
 
-#include <algorithm>
 #include <atomic>
 #include <cassert>
 
@@ -20,6 +19,8 @@ struct GlobalStats {
   std::atomic<std::uint64_t> fired{0};
   std::atomic<std::uint64_t> canceled{0};
   std::atomic<std::uint64_t> cancels_after_fire{0};
+  std::atomic<std::uint64_t> wheel_hits{0};
+  std::atomic<std::uint64_t> heap_overflow{0};
   std::atomic<std::uint64_t> live_at_exit{0};
   std::atomic<std::uint64_t> peak_live{0};
 };
@@ -36,26 +37,22 @@ void atomic_max(std::atomic<std::uint64_t>& a, std::uint64_t v) {
   }
 }
 
-/// TimerId layout: generation in the high 32 bits, slot+1 in the low 32
-/// (the +1 keeps every live id distinct from kInvalidTimer).
-constexpr TimerId make_id(std::uint32_t slot, std::uint32_t gen) {
-  return (static_cast<TimerId>(gen) << 32) |
-         (static_cast<TimerId>(slot) + 1);
-}
-
 }  // namespace
 
 Environment::Environment(std::uint64_t seed) : rng_(seed) {}
 
 Environment::~Environment() {
+  const TimerWheel::Stats w = wheel_.stats();
   GlobalStats& g = global_stats();
-  g.scheduled.fetch_add(scheduled_, std::memory_order_relaxed);
-  g.fired.fetch_add(fired_, std::memory_order_relaxed);
-  g.canceled.fetch_add(canceled_, std::memory_order_relaxed);
-  g.cancels_after_fire.fetch_add(cancels_after_fire_,
+  g.scheduled.fetch_add(w.scheduled, std::memory_order_relaxed);
+  g.fired.fetch_add(w.fired, std::memory_order_relaxed);
+  g.canceled.fetch_add(w.canceled, std::memory_order_relaxed);
+  g.cancels_after_fire.fetch_add(w.cancels_after_fire,
                                  std::memory_order_relaxed);
-  g.live_at_exit.fetch_add(heap_.size(), std::memory_order_relaxed);
-  atomic_max(g.peak_live, peak_live_);
+  g.wheel_hits.fetch_add(w.wheel_hits, std::memory_order_relaxed);
+  g.heap_overflow.fetch_add(w.heap_overflow, std::memory_order_relaxed);
+  g.live_at_exit.fetch_add(w.live, std::memory_order_relaxed);
+  atomic_max(g.peak_live, w.peak_live);
 }
 
 void Environment::make_runnable(Process& p) {
@@ -67,154 +64,11 @@ void Environment::make_runnable(Process& p) {
 void Environment::request_update(SignalBase& s) { update_queue_.push_back(&s); }
 
 // ---------------------------------------------------------------------------
-// Timed queue: slab + index-tracked 4-ary min-heap
+// Processes, events, delta cycles (the timed queue itself is
+// sim::TimerWheel; its hot path is inline in the headers)
 // ---------------------------------------------------------------------------
 
-std::uint32_t Environment::acquire_slot() {
-  if (!free_slots_.empty()) {
-    const std::uint32_t slot = free_slots_.back();
-    free_slots_.pop_back();
-    return slot;
-  }
-  slab_.emplace_back();
-  return static_cast<std::uint32_t>(slab_.size() - 1);
-}
-
-void Environment::release_slot(std::uint32_t slot) {
-  TimerNode& n = slab_[slot];
-  ++n.gen;  // retire every outstanding TimerId for this slot
-  n.heap_pos = kNoHeapPos;
-  n.event = nullptr;
-  n.owner = nullptr;
-  n.fn = nullptr;
-  free_slots_.push_back(slot);
-}
-
-void Environment::heap_place(std::size_t pos, const HeapEntry& e) {
-  heap_[pos] = e;
-  slab_[e.slot].heap_pos = static_cast<std::uint32_t>(pos);
-}
-
-void Environment::sift_up(std::size_t pos) {
-  const HeapEntry moving = heap_[pos];
-  while (pos > 0) {
-    const std::size_t parent = (pos - 1) / kHeapArity;
-    if (!entry_before(moving, heap_[parent])) break;
-    heap_place(pos, heap_[parent]);
-    pos = parent;
-  }
-  heap_place(pos, moving);
-}
-
-void Environment::sift_down(std::size_t pos) {
-  const HeapEntry moving = heap_[pos];
-  const std::size_t n = heap_.size();
-  for (;;) {
-    const std::size_t first = kHeapArity * pos + 1;
-    if (first >= n) break;
-    std::size_t best = first;
-    const std::size_t last = std::min(first + kHeapArity, n);
-    for (std::size_t c = first + 1; c < last; ++c) {
-      if (entry_before(heap_[c], heap_[best])) best = c;
-    }
-    if (!entry_before(heap_[best], moving)) break;
-    heap_place(pos, heap_[best]);
-    pos = best;
-  }
-  heap_place(pos, moving);
-}
-
-void Environment::heap_push(SimTime when, std::uint32_t slot) {
-  heap_.push_back({when, next_seq_++, slot});
-  slab_[slot].heap_pos = static_cast<std::uint32_t>(heap_.size() - 1);
-  sift_up(heap_.size() - 1);
-  ++scheduled_;
-  if (heap_.size() > peak_live_) peak_live_ = heap_.size();
-}
-
-void Environment::heap_remove_at(std::size_t pos) {
-  assert(pos < heap_.size());
-  const std::size_t last = heap_.size() - 1;
-  if (pos == last) {
-    heap_.pop_back();
-    return;
-  }
-  heap_[pos] = heap_[last];
-  heap_.pop_back();
-  // The displaced entry may belong above or below `pos`; both sifts end
-  // by re-placing it (fixing its heap_pos) even when it does not move.
-  if (pos > 0 && entry_before(heap_[pos], heap_[(pos - 1) / kHeapArity])) {
-    sift_up(pos);
-  } else {
-    sift_down(pos);
-  }
-}
-
-const Environment::TimerNode* Environment::find_live(TimerId id) const {
-  const std::uint32_t lo = static_cast<std::uint32_t>(id);
-  if (lo == 0) return nullptr;
-  const std::uint32_t slot = lo - 1;
-  if (slot >= slab_.size()) return nullptr;
-  const TimerNode& n = slab_[slot];
-  if (n.gen != static_cast<std::uint32_t>(id >> 32)) return nullptr;
-  assert(n.heap_pos != kNoHeapPos);  // live generation => in the heap
-  assert(n.event == nullptr);        // ids are only minted for callbacks
-  return &n;
-}
-
-void Environment::notify_timed(Event& ev, SimTime abs_time) {
-  assert(abs_time >= now_);
-  const std::uint32_t slot = acquire_slot();
-  slab_[slot].event = &ev;
-  heap_push(abs_time, slot);
-}
-
-TimerId Environment::schedule(SimTime delay, std::function<void()> fn,
-                              const void* owner) {
-  const std::uint32_t slot = acquire_slot();
-  TimerNode& n = slab_[slot];
-  n.owner = owner;
-  n.fn = std::move(fn);
-  const TimerId id = make_id(slot, n.gen);
-  heap_push(now_ + delay, slot);
-  return id;
-}
-
-void Environment::cancel(TimerId id) {
-  if (id == kInvalidTimer) return;
-  const TimerNode* n = find_live(id);
-  if (n == nullptr) {
-    ++cancels_after_fire_;
-    return;
-  }
-  heap_remove_at(n->heap_pos);
-  release_slot(static_cast<std::uint32_t>(id) - 1);
-  ++canceled_;
-}
-
-void Environment::cancel_owned(const void* owner) {
-  if (owner == nullptr) return;
-  cancel_scratch_.clear();
-  for (const HeapEntry& e : heap_) {
-    if (slab_[e.slot].owner == owner) cancel_scratch_.push_back(e.slot);
-  }
-  for (const std::uint32_t slot : cancel_scratch_) {
-    heap_remove_at(slab_[slot].heap_pos);
-    release_slot(slot);
-    ++canceled_;
-  }
-}
-
-bool Environment::pending(TimerId id) const {
-  return find_live(id) != nullptr;
-}
-
-// ---------------------------------------------------------------------------
-// Processes, events, delta cycles
-// ---------------------------------------------------------------------------
-
-Process& Environment::register_process(std::string name,
-                                       std::function<void()> fn) {
+Process& Environment::register_process(std::string name, UniqueFunction fn) {
   processes_.push_back(
       std::make_unique<Process>(std::move(name), std::move(fn)));
   return *processes_.back();
@@ -259,32 +113,31 @@ void Environment::settle() {
 }
 
 bool Environment::idle() const {
-  return next_runnable_.empty() && update_queue_.empty() && heap_.empty();
+  return next_runnable_.empty() && update_queue_.empty() && wheel_.empty();
 }
 
 void Environment::run_until(SimTime until) {
   settle();
-  while (!heap_.empty()) {
-    const SimTime t = heap_[0].when;
+  while (!wheel_.empty()) {
+    const SimTime t = wheel_.next_time(now_);
     if (t > until) break;
     now_ = t;
-    // Pop every entry scheduled for this instant, then settle all deltas.
-    // Only live entries exist, so every visited instant dispatches work.
-    while (!heap_.empty() && heap_[0].when == now_) {
-      const std::uint32_t slot = heap_[0].slot;
-      heap_remove_at(0);
-      TimerNode& node = slab_[slot];
-      ++fired_;
-      if (node.event != nullptr) {
-        Event* ev = node.event;
-        release_slot(slot);
+    // Pop-and-dispatch every entry due at this instant in (when, seq)
+    // order. Callbacks may schedule more work at the same instant (their
+    // seqs are larger than every live one, so they pop last) and may
+    // cancel same-instant siblings (a canceled entry leaves its
+    // container before its turn). pop_due moves the payload out and
+    // releases the slot before dispatch: the callback may schedule more
+    // timers, and its slot must be reusable (and its id stale) while it
+    // runs.
+    Event* ev = nullptr;
+    UniqueFunction fn;
+    while (wheel_.pop_due(t, ev, fn)) {
+      if (ev != nullptr) {
         trigger(*ev);
       } else {
-        // Move out first: the callback may schedule more timers, and its
-        // slot must be reusable (and its id stale) while it runs.
-        auto fn = std::move(node.fn);
-        release_slot(slot);
         fn();
+        fn.reset();
       }
     }
     // The timed callbacks above form the evaluate phase of the first delta
@@ -304,21 +157,24 @@ std::uint64_t Environment::heap_depth(std::uint64_t n) {
   std::uint64_t depth = 0, capacity = 0, level = 1;
   while (capacity < n) {
     capacity += level;
-    level *= kHeapArity;
+    level *= 4;  // the overflow heap's arity
     ++depth;
   }
   return depth;
 }
 
 Environment::SchedulerStats Environment::scheduler_stats() const {
+  const TimerWheel::Stats w = wheel_.stats();
   SchedulerStats s;
-  s.scheduled = scheduled_;
-  s.fired = fired_;
-  s.canceled = canceled_;
-  s.cancels_after_fire = cancels_after_fire_;
-  s.live = heap_.size();
-  s.peak_live = peak_live_;
-  s.peak_depth = heap_depth(peak_live_);
+  s.scheduled = w.scheduled;
+  s.fired = w.fired;
+  s.canceled = w.canceled;
+  s.cancels_after_fire = w.cancels_after_fire;
+  s.wheel_hits = w.wheel_hits;
+  s.heap_overflow = w.heap_overflow;
+  s.live = w.live;
+  s.peak_live = w.peak_live;
+  s.peak_depth = heap_depth(w.peak_live);
   return s;
 }
 
@@ -329,6 +185,8 @@ Environment::SchedulerStats Environment::global_scheduler_stats() {
   s.fired = g.fired.load(std::memory_order_relaxed);
   s.canceled = g.canceled.load(std::memory_order_relaxed);
   s.cancels_after_fire = g.cancels_after_fire.load(std::memory_order_relaxed);
+  s.wheel_hits = g.wheel_hits.load(std::memory_order_relaxed);
+  s.heap_overflow = g.heap_overflow.load(std::memory_order_relaxed);
   s.live = g.live_at_exit.load(std::memory_order_relaxed);
   s.peak_live = g.peak_live.load(std::memory_order_relaxed);
   s.peak_depth = heap_depth(s.peak_live);

@@ -1,4 +1,4 @@
-// The simulation environment: scheduler, time wheel and kernel services.
+// The simulation environment: scheduler, timing wheel and kernel services.
 //
 // Scheduling follows the SystemC evaluate/update delta-cycle contract:
 //
@@ -9,24 +9,29 @@
 //                 actually changed notify their value-changed events.
 //   3. delta    : processes made runnable by step 2 (or by notify_delta in
 //                 step 1) form the next evaluate set at the *same* time.
-//   4. advance  : when no delta work remains, pop the earliest timed
-//                 entries and repeat.
+//   4. advance  : when no delta work remains, claim the earliest timed
+//                 instant and repeat.
 //
 // Timed queue
 // -----------
 // All timed work (one-shot callbacks and timed event notifications) lives
-// in a single index-tracked 4-ary min-heap over a slab of timer nodes,
-// ordered by (when, seq): seq is a global schedule counter, so same-time
-// entries fire in FIFO order -- the determinism tiebreak every model
-// relies on. Each slab node knows its heap position, which makes
-// cancel() a true O(log n) *removal*: a canceled timer leaves no dead
-// entry behind, so idle() is exact, run_until() never visits the
+// in a sim::TimerWheel (sim/timer_wheel.hpp): a three-level slot-grid
+// timing wheel whose ring buckets give O(1) schedule/cancel for timers on
+// the Bluetooth native grid (bit period, 312.5 us half-slot, 625 us
+// slot), backed by the slot/generation 4-ary min-heap for off-grid and
+// far-horizon timers. Dispatch preserves the exact (when, seq) total
+// order of the heap-only kernel -- seq is a global schedule counter, so
+// same-time entries fire in FIFO order, the determinism tiebreak every
+// model relies on. Cancellation is true removal: a canceled timer leaves
+// no dead entry behind, so idle() is exact, run_until() never visits the
 // timestamp of a fully-canceled instant, and queue memory is reclaimed
-// immediately (slab slots are recycled through a free list -- steady-
-// state scheduling performs no allocation beyond the callback's own
-// captures). TimerId handles encode (slot, generation); the generation
-// is bumped on every slot reuse, so a stale handle -- cancel after fire
-// -- is recognised and ignored instead of killing an unrelated timer.
+// immediately. TimerId handles encode (slot, generation); a stale handle
+// -- cancel after fire -- is recognised and ignored.
+//
+// Callbacks are sim::UniqueFunction (sim/unique_function.hpp): move-only
+// with a 48-byte inline buffer, so steady-state scheduling performs zero
+// heap allocations end to end -- no std::function capture allocation, no
+// queue-node allocation (slab free list), no control-structure growth.
 //
 // Timers may carry an owner tag (see schedule()); cancel_owned() removes
 // every live timer of one owner in a single call, which is how module
@@ -37,8 +42,8 @@
 // random stream, so a whole simulation is reproducible from one seed.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -47,16 +52,13 @@
 #include "sim/process.hpp"
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
+#include "sim/timer_wheel.hpp"
+#include "sim/unique_function.hpp"
 
 namespace btsc::sim {
 
 class SignalBase;
 class Tracer;
-
-/// Handle for a scheduled one-shot callback, usable to cancel it.
-/// Opaque encoding of (slab slot, generation); never 0 for a live timer.
-using TimerId = std::uint64_t;
-inline constexpr TimerId kInvalidTimer = 0;
 
 class Environment {
  public:
@@ -87,32 +89,43 @@ class Environment {
   // ---- process / event plumbing (used by Event, Signal, Module) ----
   void make_runnable(Process& p);
   void request_update(SignalBase& s);
-  void notify_timed(Event& ev, SimTime abs_time);
+  void notify_timed(Event& ev, SimTime abs_time) {
+    assert(abs_time >= now_);
+    wheel_.schedule_event(now_, abs_time, ev);
+  }
 
   /// Schedules a one-shot callback at now()+delay (evaluate phase).
   /// Returns a TimerId that can be passed to cancel(). `owner` is an
   /// optional tag for bulk cancellation via cancel_owned(); it is never
-  /// dereferenced.
-  TimerId schedule(SimTime delay, std::function<void()> fn,
-                   const void* owner = nullptr);
+  /// dereferenced. The callback becomes a move-only UniqueFunction,
+  /// constructed directly in the timer slab: captures up to 48 bytes
+  /// are stored inline, so scheduling performs no heap allocation.
+  template <typename F>
+  TimerId schedule(SimTime delay, F&& fn, const void* owner = nullptr) {
+    return wheel_.schedule_callback(now_, now_ + delay, std::forward<F>(fn),
+                                    owner);
+  }
 
   /// Cancels a previously scheduled callback: removes its queue entry in
-  /// O(log n). Safe (and a no-op) after the callback fired or for
-  /// kInvalidTimer -- slot generations make stale handles inert even when
-  /// the slot has been reused by a later timer.
-  void cancel(TimerId id);
+  /// O(1) (wheel bucket) or O(log n) (overflow heap). Safe (and a no-op)
+  /// after the callback fired or for kInvalidTimer -- slot generations
+  /// make stale handles inert even when the slot has been reused by a
+  /// later timer.
+  void cancel(TimerId id) { wheel_.cancel(id); }
 
   /// Cancels every live timer scheduled with this owner tag. O(n) scan of
-  /// the live queue plus O(log n) per removal; nullptr is a no-op.
-  void cancel_owned(const void* owner);
+  /// the timer slab plus O(1)/O(log n) per removal; nullptr is a no-op.
+  void cancel_owned(const void* owner) { wheel_.cancel_owned(owner); }
 
   /// True while the timer is scheduled and has neither fired nor been
   /// canceled.
-  bool pending(TimerId id) const;
+  bool pending(TimerId id) const { return wheel_.pending(id); }
 
   /// Registers a process owned by the caller's module; the environment
-  /// stores it so sensitivity lists can reference stable addresses.
-  Process& register_process(std::string name, std::function<void()> fn);
+  /// stores it so sensitivity lists can reference stable addresses. The
+  /// behaviour is a move-only UniqueFunction -- process bootstrap never
+  /// copies a capture.
+  Process& register_process(std::string name, UniqueFunction fn);
 
   // ---- services ----
   Rng& rng() { return rng_; }
@@ -121,6 +134,14 @@ class Environment {
   /// own the tracer; it must outlive the simulation.
   void set_tracer(Tracer* t) { tracer_ = t; }
   Tracer* tracer() const { return tracer_; }
+
+  /// Diagnostics switch for the wheel/heap equivalence suites: when
+  /// disabled, every *future* schedule bypasses the wheel's ring buckets
+  /// and uses the overflow heap alone (the pre-wheel kernel). Dispatch
+  /// order is identical either way; only the cost model changes.
+  void set_timer_wheel_enabled(bool enabled) {
+    wheel_.set_wheel_enabled(enabled);
+  }
 
   // ---- diagnostics ----
   std::uint64_t delta_count() const { return delta_count_; }
@@ -131,7 +152,8 @@ class Environment {
   /// work (the old kernel's dead-entry population is structurally zero;
   /// `canceled` counts the entries that would have rotted there).
   struct SchedulerStats {
-    /// Heap pushes: one-shot callbacks plus timed event notifications.
+    /// Timed-queue inserts: one-shot callbacks plus timed event
+    /// notifications (wheel_hits + heap_overflow == scheduled).
     std::uint64_t scheduled = 0;
     /// Entries popped and dispatched at their instant.
     std::uint64_t fired = 0;
@@ -139,12 +161,19 @@ class Environment {
     std::uint64_t canceled = 0;
     /// cancel() calls that found nothing (already fired / stale handle).
     std::uint64_t cancels_after_fire = 0;
-    /// Current heap size (for the global aggregate: entries still live
-    /// when their environment was destroyed).
+    /// Inserts that landed in an O(1) wheel bucket (timer on the slot
+    /// grid, within a wheel horizon) -- the measured grid assumption.
+    std::uint64_t wheel_hits = 0;
+    /// Inserts that overflowed to the 4-ary heap (off-grid instant or
+    /// beyond the 2.56 s horizon).
+    std::uint64_t heap_overflow = 0;
+    /// Current live timed entries (for the global aggregate: entries
+    /// still live when their environment was destroyed).
     std::uint64_t live = 0;
-    /// High-water heap size.
+    /// High-water live-entry count.
     std::uint64_t peak_live = 0;
-    /// Levels of the 4-ary heap at the high-water mark.
+    /// Levels a 4-ary heap of peak_live entries would span (the
+    /// comparison cost the wheel's O(1) buckets avoid).
     std::uint64_t peak_depth = 0;
   };
   SchedulerStats scheduler_stats() const;
@@ -155,64 +184,21 @@ class Environment {
   static SchedulerStats global_scheduler_stats();
 
  private:
-  static constexpr std::size_t kHeapArity = 4;
-  static constexpr std::uint32_t kNoHeapPos = ~std::uint32_t{0};
-
-  /// One slab entry: a one-shot callback (event == nullptr) or a timed
-  /// event notification. Nodes are recycled through a free list; `gen`
-  /// distinguishes reuses so stale TimerIds cannot alias a new timer.
-  struct TimerNode {
-    std::uint32_t gen = 0;
-    std::uint32_t heap_pos = kNoHeapPos;
-    Event* event = nullptr;
-    const void* owner = nullptr;
-    std::function<void()> fn;
-  };
-
-  /// Heap entries carry the ordering key, so sift comparisons stay inside
-  /// the heap array instead of chasing slab nodes.
-  struct HeapEntry {
-    SimTime when;
-    std::uint64_t seq;  // FIFO order among same-time entries
-    std::uint32_t slot;
-  };
-
   void run_delta();
   void commit_updates();
   void trigger(Event& ev);
-
-  static bool entry_before(const HeapEntry& a, const HeapEntry& b) {
-    return a.when != b.when ? a.when < b.when : a.seq < b.seq;
-  }
   static std::uint64_t heap_depth(std::uint64_t n);
-  std::uint32_t acquire_slot();
-  void release_slot(std::uint32_t slot);
-  void heap_place(std::size_t pos, const HeapEntry& e);
-  void sift_up(std::size_t pos);
-  void sift_down(std::size_t pos);
-  void heap_push(SimTime when, std::uint32_t slot);
-  void heap_remove_at(std::size_t pos);
-  const TimerNode* find_live(TimerId id) const;
 
   SimTime now_ = SimTime::zero();
   std::vector<Process*> runnable_;
   std::vector<Process*> next_runnable_;
   std::vector<SignalBase*> update_queue_;
-  std::vector<TimerNode> slab_;
-  std::vector<std::uint32_t> free_slots_;
-  std::vector<HeapEntry> heap_;
-  std::vector<std::uint32_t> cancel_scratch_;
-  std::uint64_t next_seq_ = 1;
+  TimerWheel wheel_;
   std::vector<std::unique_ptr<Process>> processes_;
   Rng rng_;
   Tracer* tracer_ = nullptr;
   std::uint64_t delta_count_ = 0;
   std::uint64_t activations_ = 0;
-  std::uint64_t scheduled_ = 0;
-  std::uint64_t fired_ = 0;
-  std::uint64_t canceled_ = 0;
-  std::uint64_t cancels_after_fire_ = 0;
-  std::uint64_t peak_live_ = 0;
 };
 
 }  // namespace btsc::sim

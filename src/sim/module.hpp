@@ -5,7 +5,6 @@
 // processes with static sensitivity.
 #pragma once
 
-#include <functional>
 #include <initializer_list>
 #include <string>
 #include <utility>
@@ -13,6 +12,7 @@
 #include "sim/environment.hpp"
 #include "sim/event.hpp"
 #include "sim/process.hpp"
+#include "sim/unique_function.hpp"
 
 namespace btsc::sim {
 
@@ -38,7 +38,7 @@ class Module {
   /// Registers a run-to-completion method process, statically sensitive to
   /// the given events. Additional sensitivity can be added later via
   /// Event::add_sensitive().
-  Process& method(const std::string& leaf, std::function<void()> fn,
+  Process& method(const std::string& leaf, UniqueFunction fn,
                   std::initializer_list<Event*> sensitivity = {}) {
     Process& p = env_.register_process(child_name(leaf), std::move(fn));
     for (Event* ev : sensitivity) ev->add_sensitive(p);

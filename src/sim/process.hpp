@@ -5,18 +5,21 @@
 // a SystemC SC_METHOD. Modules register processes through Module::method().
 #pragma once
 
-#include <functional>
 #include <string>
 #include <utility>
+
+#include "sim/unique_function.hpp"
 
 namespace btsc::sim {
 
 class Environment;
 
-/// A run-to-completion callback triggered by event notifications.
+/// A run-to-completion callback triggered by event notifications. The
+/// behaviour is a move-only UniqueFunction: registering a process never
+/// copies its capture (and the capture may hold move-only state).
 class Process {
  public:
-  Process(std::string name, std::function<void()> fn)
+  Process(std::string name, UniqueFunction fn)
       : name_(std::move(name)), fn_(std::move(fn)) {}
 
   Process(const Process&) = delete;
@@ -30,7 +33,7 @@ class Process {
  private:
   friend class Environment;
   std::string name_;
-  std::function<void()> fn_;
+  UniqueFunction fn_;
   // True while the process sits in a runnable queue; prevents the same
   // process from being queued twice in one delta when several of its
   // sensitivity events fire together.

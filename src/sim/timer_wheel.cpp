@@ -1,0 +1,118 @@
+// Cold paths of the timing-wheel timed queue: construction, the 4-ary
+// overflow heap's sift machinery (only off-grid / far-horizon timers pay
+// it), bulk owner cancellation and the stats snapshot. The per-event hot
+// path is inline in timer_wheel.hpp.
+#include "sim/timer_wheel.hpp"
+
+#include <algorithm>
+
+namespace btsc::sim {
+
+TimerWheel::TimerWheel() {
+  for (int l = 0; l < kLevels; ++l) {
+    levels_[l].heads.assign(kBuckets[l], kNil);
+    levels_[l].words.assign(kBuckets[l] >> 6, 0);
+  }
+}
+
+TimerWheel::~TimerWheel() = default;
+
+// ---------------------------------------------------------------------------
+// Overflow heap (identical mechanics to the pre-wheel kernel)
+// ---------------------------------------------------------------------------
+
+void TimerWheel::heap_place(std::size_t pos, const HeapEntry& e) {
+  heap_[pos] = e;
+  slab_[e.slot].pos = static_cast<std::uint32_t>(pos);
+}
+
+void TimerWheel::sift_up(std::size_t pos) {
+  const HeapEntry moving = heap_[pos];
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / kHeapArity;
+    if (!entry_before(moving, heap_[parent])) break;
+    heap_place(pos, heap_[parent]);
+    pos = parent;
+  }
+  heap_place(pos, moving);
+}
+
+void TimerWheel::sift_down(std::size_t pos) {
+  const HeapEntry moving = heap_[pos];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first = kHeapArity * pos + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + kHeapArity, n);
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (entry_before(heap_[c], heap_[best])) best = c;
+    }
+    if (!entry_before(heap_[best], moving)) break;
+    heap_place(pos, heap_[best]);
+    pos = best;
+  }
+  heap_place(pos, moving);
+}
+
+void TimerWheel::heap_push(SimTime when, std::uint64_t seq,
+                           std::uint32_t slot) {
+  heap_.push_back({when, seq, slot});
+  Node& n = slab_[slot];
+  n.where = kWhereHeap;
+  n.pos = static_cast<std::uint32_t>(heap_.size() - 1);
+  sift_up(heap_.size() - 1);
+}
+
+void TimerWheel::heap_remove_at(std::size_t pos) {
+  assert(pos < heap_.size());
+  const std::size_t last = heap_.size() - 1;
+  if (pos == last) {
+    heap_.pop_back();
+    return;
+  }
+  heap_[pos] = heap_[last];
+  heap_.pop_back();
+  // The displaced entry may belong above or below `pos`; both sifts end
+  // by re-placing it (fixing its slab pos) even when it does not move.
+  if (pos > 0 && entry_before(heap_[pos], heap_[(pos - 1) / kHeapArity])) {
+    sift_up(pos);
+  } else {
+    sift_down(pos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bulk cancellation & diagnostics
+// ---------------------------------------------------------------------------
+
+void TimerWheel::cancel_owned(const void* owner) {
+  if (owner == nullptr) return;
+  cancel_scratch_.clear();
+  for (std::uint32_t s = 0; s < slab_.size(); ++s) {
+    const Node& n = slab_[s];
+    if (n.where != kWhereFree && n.owner == owner) {
+      cancel_scratch_.push_back(s);
+    }
+  }
+  for (const std::uint32_t s : cancel_scratch_) {
+    remove_from_container(slab_[s]);
+    release_slot(s);
+    ++canceled_;
+  }
+}
+
+TimerWheel::Stats TimerWheel::stats() const {
+  Stats s;
+  s.scheduled = wheel_hits_ + heap_overflow_;
+  s.fired = fired_;
+  s.canceled = canceled_;
+  s.cancels_after_fire = cancels_after_fire_;
+  s.wheel_hits = wheel_hits_;
+  s.heap_overflow = heap_overflow_;
+  s.live = live_;
+  s.peak_live = peak_live_;
+  return s;
+}
+
+}  // namespace btsc::sim

@@ -1,0 +1,626 @@
+// Slot-grid timing-wheel timed queue: O(1) ring buckets for the
+// Bluetooth native grid, with the slot/generation 4-ary heap as the
+// overflow for off-grid and far-horizon timers.
+//
+// Motivation
+// ----------
+// The baseband state machines schedule overwhelmingly on the hardware's
+// own grid: the 1 us bit period (with its +250 ns sampling offset), the
+// 312.5 us CLKN half-slot and the 625 us slot. For those timers a
+// comparison-based priority queue pays O(log n) sifts per schedule and
+// cancel where a ring bucket indexed by (when / tick) costs O(1). The
+// wheel exploits exactly that: three levels of **exact-instant**
+// buckets --
+//
+//   level 0: 250 ns tick x 4096 buckets  -> 1.024 ms horizon
+//            (bit timers, RX sampling, carrier-sense windows, half-slot
+//            ticks, same/next-slot deferred actions)
+//   level 1: 312.5 us tick x 1024 buckets -> 320 ms horizon
+//            (multi-slot deferrals: T_poll, sniff/hold wakeups,
+//            response-dialogue timeouts)
+//   level 2: 625 us tick x 4096 buckets   -> 2.56 s horizon
+//            (superframe-scale work: inquiry/page timeouts, beacons,
+//            long backoffs that land on the even-slot grid)
+//
+// A timer enters the finest level whose tick divides its absolute
+// `when` and whose horizon covers it; everything else -- off-grid
+// instants, or timers farther out than 2.56 s -- overflows into the
+// 4-ary min-heap that was previously the whole queue. Because each
+// level only ever holds ticks inside the rotating window
+// [floor(now/tick), floor(now/tick) + buckets), a bucket never mixes
+// two instants: every entry in bucket (q % buckets) has exactly
+// when == q * tick. Occupancy is tracked in a two-level bitmap (64-bit
+// summary over 64-bit words), so "next non-empty bucket" is a couple of
+// countr_zero scans, not a ring walk.
+//
+// Ordering
+// --------
+// The dispatch contract is the exact (when, seq) total order of the
+// heap-only kernel -- seq is the global schedule counter, so same-time
+// entries fire in FIFO order. The wheel preserves it *by construction
+// of the drain*, not by keeping buckets sorted: pop_due(t) selects the
+// minimum-seq entry due at t across all four containers (three bucket
+// levels plus the heap -- the same instant can legitimately live in
+// several: a far timer lands in the heap, then a later-scheduled timer
+// for the same instant lands in a bucket) by scanning the due buckets
+// (same-instant batches are tiny) and comparing against the heap top.
+// Entries scheduled *during* the dispatch of instant t carry seqs
+// larger than every live one, so popping until the instant is dry
+// extends the same total order. See docs/ARCHITECTURE.md for the
+// ordering proof sketch.
+//
+// Cancellation keeps the true-removal semantics of the heap kernel:
+// bucket entries unlink in O(1) (intrusive doubly-linked lists through
+// the slab), heap entries remove in O(log n), and slot generations make
+// stale TimerIds inert. Entries stay in their container until popped,
+// so a callback canceling a same-instant sibling removes it before its
+// turn, exactly as before.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "sim/unique_function.hpp"
+
+namespace btsc::sim {
+
+class Event;
+
+/// Handle for a scheduled one-shot callback, usable to cancel it.
+/// Opaque encoding of (slab slot, generation); never 0 for a live timer.
+using TimerId = std::uint64_t;
+inline constexpr TimerId kInvalidTimer = 0;
+
+/// The timed queue: slot-grid timing wheel + 4-ary overflow heap over a
+/// generation-checked slab of timer nodes. Owned by Environment; all
+/// `now` parameters are the environment's current time (live entries
+/// always satisfy when >= now).
+class TimerWheel {
+ public:
+  TimerWheel();
+  ~TimerWheel();
+
+  TimerWheel(const TimerWheel&) = delete;
+  TimerWheel& operator=(const TimerWheel&) = delete;
+
+  /// Diagnostics switch: when disabled, every future schedule goes to
+  /// the overflow heap (the pre-wheel kernel, bit for bit). Used by the
+  /// wheel/heap equivalence tests and benches; entries already in
+  /// buckets stay there. Invalidates the due-instant cache: its level-0
+  /// flag depends on this switch.
+  void set_wheel_enabled(bool enabled) {
+    wheel_enabled_ = enabled;
+    due_.tns = ~std::uint64_t{0};
+  }
+
+  // The schedule/cancel/pop hot path is defined inline below the class:
+  // the kernel dispatch loop must flatten into its callers (the
+  // pre-wheel kernel lived in one TU and owed real throughput to that).
+
+  /// Schedules a one-shot callback at absolute time `when`. `owner` is
+  /// an optional tag for cancel_owned(); it is never dereferenced. The
+  /// callable constructs directly into the slab node (templated so no
+  /// UniqueFunction temporary is moved through the call).
+  template <typename F>
+  TimerId schedule_callback(SimTime now, SimTime when, F&& fn,
+                            const void* owner) {
+    const std::uint32_t slot = acquire_slot();
+    Node& n = slab_[slot];
+    n.owner = owner;
+    n.event = nullptr;
+    n.fn.emplace(std::forward<F>(fn));
+    const TimerId id = make_id(slot, n.gen);
+    place(slot, now, when);
+    return id;
+  }
+
+  /// Schedules a timed notification of `ev` (no TimerId is minted;
+  /// event notifications are not individually cancelable).
+  inline void schedule_event(SimTime now, SimTime when, Event& ev);
+
+  /// Removes the entry in O(1) (bucket) / O(log n) (heap). Returns
+  /// false -- and counts a cancel-after-fire -- for stale handles.
+  inline bool cancel(TimerId id);
+
+  /// Removes every live timer carrying this owner tag (O(slab) scan).
+  void cancel_owned(const void* owner);
+
+  /// True while the timer is scheduled and has neither fired nor been
+  /// canceled (claimed-but-undispatched entries count as live).
+  bool pending(TimerId id) const { return find_live(id) != nullptr; }
+
+  bool empty() const { return live_ == 0; }
+  std::uint64_t live() const { return live_; }
+
+  /// Earliest pending instant across wheel levels and heap. Also primes
+  /// the due-instant cache pop_due() draws on, so the per-pop grid
+  /// arithmetic is paid once per instant. Precondition: !empty().
+  inline SimTime next_time(SimTime now);
+
+  /// Removes the minimum-seq entry due exactly at `t` and moves its
+  /// payload out (exactly one of `ev`/`fn` is set), releasing its slot
+  /// before the caller dispatches -- the callback may reschedule into
+  /// the freed slot and its id goes stale while it runs. Returns false
+  /// when nothing (remains) due at `t`.
+  inline bool pop_due(SimTime t, Event*& ev, UniqueFunction& fn);
+
+  /// Lifecycle counters (mirrored into Environment::SchedulerStats).
+  struct Stats {
+    std::uint64_t scheduled = 0;
+    std::uint64_t fired = 0;
+    std::uint64_t canceled = 0;
+    std::uint64_t cancels_after_fire = 0;
+    std::uint64_t wheel_hits = 0;
+    std::uint64_t heap_overflow = 0;
+    std::uint64_t live = 0;
+    std::uint64_t peak_live = 0;
+  };
+  Stats stats() const;
+
+ private:
+  // ---- geometry (all powers of two so idx = q & (n-1)) ----
+  static constexpr int kLevels = 3;
+  static constexpr std::uint64_t kTickNs[kLevels] = {250, 312'500, 625'000};
+  static constexpr std::uint32_t kBuckets[kLevels] = {4096, 1024, 4096};
+
+  static constexpr std::uint32_t kNil = ~std::uint32_t{0};
+  static constexpr std::size_t kHeapArity = 4;
+
+  enum Where : std::uint8_t {
+    kWhereFree = 0,
+    kWhereBucket,  // in wheel level `level`, bucket `pos`
+    kWhereHeap     // in the overflow heap at index `pos`
+  };
+
+  /// One slab entry: a one-shot callback (event == nullptr) or a timed
+  /// event notification. Nodes are recycled through a free list; `gen`
+  /// distinguishes reuses so stale TimerIds cannot alias a new timer.
+  struct Node {
+    std::uint32_t gen = 0;
+    std::uint8_t where = kWhereFree;
+    std::uint8_t level = 0;
+    std::uint32_t pos = 0;
+    std::uint32_t prev = kNil;
+    std::uint32_t next = kNil;
+    std::uint64_t seq = 0;
+    SimTime when;
+    const void* owner = nullptr;
+    Event* event = nullptr;
+    UniqueFunction fn;
+  };
+
+  /// Heap entries carry the ordering key, so sift comparisons stay
+  /// inside the heap array instead of chasing slab nodes.
+  struct HeapEntry {
+    SimTime when;
+    std::uint64_t seq;
+    std::uint32_t slot;
+  };
+
+  struct Level {
+    std::vector<std::uint32_t> heads;  // bucket -> first slot (or kNil)
+    std::vector<std::uint64_t> words;  // occupancy bitmap, bit per bucket
+    std::uint64_t summary = 0;         // bit per word
+    std::uint64_t live = 0;
+  };
+
+  /// Grid arithmetic for one instant, computed once (by the first
+  /// pop_due of the instant) and reused by every same-instant pop: which
+  /// levels can hold entries due at the instant, and the bucket index
+  /// there. A level is flagged when its tick divides the instant AND it
+  /// can matter: levels 1/2 only while they hold entries (an instant's
+  /// *mid-drain* schedules always land in level 0 -- ring distance 0 --
+  /// or the heap, so an empty coarse level can never gain entries due at
+  /// the instant being drained), level 0 whenever the wheel is enabled
+  /// or non-empty. The flags never need invalidation within an instant.
+  struct DueContext {
+    std::uint64_t tns = ~std::uint64_t{0};  // instant this was built for
+    std::uint32_t idx[kLevels] = {0, 0, 0};
+    std::uint8_t eligible = 0;  // bit l: scan levels_[l].heads[idx[l]]
+  };
+
+  inline void prime_due_context(std::uint64_t tns);
+
+  static bool entry_before(const HeapEntry& a, const HeapEntry& b) {
+    return a.when != b.when ? a.when < b.when : a.seq < b.seq;
+  }
+
+  /// TimerId layout: generation in the high 32 bits, slot+1 in the low
+  /// 32 (the +1 keeps every live id distinct from kInvalidTimer).
+  static constexpr TimerId make_id(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<TimerId>(gen) << 32) |
+           (static_cast<TimerId>(slot) + 1);
+  }
+
+  /// Refreshes cached_cur_ (floor(now/tick) per level) for this `now`.
+  /// Callbacks schedule in bursts at one instant, so the quotients are
+  /// computed once per distinct now, not once per schedule; the coarser
+  /// quotients derive from the finest by nested integer division
+  /// (floor(floor(x/250)/1250) == floor(x/312500)).
+  inline void refresh_now_cache(std::uint64_t now_ns) {
+    if (now_ns == cached_now_ns_) return;
+    cached_now_ns_ = now_ns;
+    cached_cur_[0] = now_ns / kTickNs[0];
+    cached_cur_[1] = cached_cur_[0] / (kTickNs[1] / kTickNs[0]);
+    cached_cur_[2] = cached_cur_[1] / (kTickNs[2] / kTickNs[1]);
+  }
+
+  inline std::uint32_t acquire_slot();
+  inline void release_slot(std::uint32_t slot);
+  inline const Node* find_live(TimerId id) const;
+  inline void place(std::uint32_t slot, SimTime now, SimTime when);
+  inline void remove_from_container(Node& n);
+
+  // wheel plumbing
+  inline void bucket_insert(int level, std::uint64_t q, std::uint32_t slot);
+  inline void bucket_unlink(Node& n);
+  static inline void mark_bucket(Level& lv, std::uint32_t idx);
+  static inline void clear_bucket_bit(Level& lv, std::uint32_t idx);
+  /// Next occupied bucket position at ring distance >= 0 from `from`,
+  /// or kNil when the level is empty.
+  inline std::uint32_t next_occupied(int level, std::uint32_t from) const;
+
+  // overflow heap plumbing (identical to the pre-wheel kernel)
+  void heap_place(std::size_t pos, const HeapEntry& e);
+  void sift_up(std::size_t pos);
+  void sift_down(std::size_t pos);
+  void heap_push(SimTime when, std::uint64_t seq, std::uint32_t slot);
+  void heap_remove_at(std::size_t pos);
+
+  std::vector<Node> slab_;
+  std::uint32_t free_head_ = kNil;
+  Level levels_[kLevels];
+  std::vector<HeapEntry> heap_;
+  std::vector<std::uint32_t> cancel_scratch_;
+  DueContext due_;
+  std::uint64_t cached_now_ns_ = ~std::uint64_t{0};
+  std::uint64_t cached_cur_[kLevels] = {0, 0, 0};
+  bool wheel_enabled_ = true;
+
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t live_ = 0;
+  std::uint64_t fired_ = 0;
+  std::uint64_t canceled_ = 0;
+  std::uint64_t cancels_after_fire_ = 0;
+  std::uint64_t wheel_hits_ = 0;
+  std::uint64_t heap_overflow_ = 0;
+  std::uint64_t peak_live_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Inline hot path. Everything the per-event cycle touches -- schedule,
+// cancel, next_time, pop_due -- lives here so it flattens into the
+// Environment dispatch loop and the model call sites.
+// ---------------------------------------------------------------------------
+
+inline std::uint32_t TimerWheel::acquire_slot() {
+  const std::uint32_t slot = free_head_;
+  if (slot != kNil) {
+    free_head_ = slab_[slot].next;  // intrusive free list
+    return slot;
+  }
+  slab_.emplace_back();
+  return static_cast<std::uint32_t>(slab_.size() - 1);
+}
+
+inline void TimerWheel::release_slot(std::uint32_t slot) {
+  Node& n = slab_[slot];
+  ++n.gen;  // retire every outstanding TimerId for this slot
+  n.where = kWhereFree;
+  n.fn.reset();  // destroy the captured state now, not at slot reuse
+  // The free list threads through `next`; event/owner/prev are garbage
+  // while free -- both schedule paths (and bucket_insert) overwrite
+  // every field they rely on.
+  n.next = free_head_;
+  free_head_ = slot;
+  --live_;
+}
+
+inline const TimerWheel::Node* TimerWheel::find_live(TimerId id) const {
+  const std::uint32_t lo = static_cast<std::uint32_t>(id);
+  if (lo == 0) return nullptr;
+  const std::uint32_t slot = lo - 1;
+  if (slot >= slab_.size()) return nullptr;
+  const Node& n = slab_[slot];
+  if (n.gen != static_cast<std::uint32_t>(id >> 32)) return nullptr;
+  assert(n.where != kWhereFree);  // live generation => somewhere
+  assert(n.event == nullptr);     // ids are only minted for callbacks
+  return &n;
+}
+
+inline void TimerWheel::mark_bucket(Level& lv, std::uint32_t idx) {
+  lv.words[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+  lv.summary |= std::uint64_t{1} << (idx >> 6);
+}
+
+inline void TimerWheel::clear_bucket_bit(Level& lv, std::uint32_t idx) {
+  lv.words[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
+  if (lv.words[idx >> 6] == 0) {
+    lv.summary &= ~(std::uint64_t{1} << (idx >> 6));
+  }
+}
+
+inline void TimerWheel::bucket_insert(int level, std::uint64_t q,
+                                      std::uint32_t slot) {
+  Level& lv = levels_[level];
+  const std::uint32_t idx =
+      static_cast<std::uint32_t>(q) & (kBuckets[level] - 1);
+  Node& n = slab_[slot];
+  n.where = kWhereBucket;
+  n.level = static_cast<std::uint8_t>(level);
+  n.pos = idx;
+  n.prev = kNil;
+  n.next = lv.heads[idx];
+  if (lv.heads[idx] != kNil) {
+    slab_[lv.heads[idx]].prev = slot;
+  } else {
+    mark_bucket(lv, idx);
+  }
+  lv.heads[idx] = slot;
+  ++lv.live;
+}
+
+inline void TimerWheel::bucket_unlink(Node& n) {
+  Level& lv = levels_[n.level];
+  if (n.prev != kNil) {
+    slab_[n.prev].next = n.next;
+  } else {
+    lv.heads[n.pos] = n.next;
+    if (n.next == kNil) clear_bucket_bit(lv, n.pos);
+  }
+  if (n.next != kNil) slab_[n.next].prev = n.prev;
+  --lv.live;
+}
+
+inline std::uint32_t TimerWheel::next_occupied(int level,
+                                               std::uint32_t from) const {
+  const Level& lv = levels_[level];
+  const std::uint32_t nwords = kBuckets[level] >> 6;
+  const std::uint32_t wi = from >> 6;
+  const std::uint32_t bit = from & 63;
+  // Ring order from `from`: the rest of its word, the words after it,
+  // the words before it (wrapped lap), then its word's low bits.
+  std::uint64_t w = lv.words[wi] & (~std::uint64_t{0} << bit);
+  if (w != 0) {
+    return (wi << 6) + static_cast<std::uint32_t>(std::countr_zero(w));
+  }
+  const std::uint64_t rest = lv.summary & ~(std::uint64_t{1} << wi);
+  const std::uint64_t hi =
+      wi + 1 >= nwords ? 0 : rest & (~std::uint64_t{0} << (wi + 1));
+  const std::uint64_t lo = rest & ((std::uint64_t{1} << wi) - 1);
+  for (const std::uint64_t region : {hi, lo}) {
+    if (region != 0) {
+      const auto i = static_cast<std::uint32_t>(std::countr_zero(region));
+      return (i << 6) +
+             static_cast<std::uint32_t>(std::countr_zero(lv.words[i]));
+    }
+  }
+  w = bit == 0 ? 0 : lv.words[wi] & ((std::uint64_t{1} << bit) - 1);
+  if (w != 0) {
+    return (wi << 6) + static_cast<std::uint32_t>(std::countr_zero(w));
+  }
+  return kNil;
+}
+
+inline void TimerWheel::place(std::uint32_t slot, SimTime now, SimTime when) {
+  Node& n = slab_[slot];
+  n.seq = next_seq_++;
+  n.when = when;
+  ++live_;
+  if (live_ > peak_live_) peak_live_ = live_;
+  const std::uint64_t w = when.as_ns();
+  // Finest level whose tick divides `when` and whose horizon covers it.
+  // Divisibility nests (250 | 312500 | 625000), so one failed modulus
+  // rules out every coarser level too, and the coarser quotients derive
+  // from q0 by small-constant division (w/312500 == (w/250)/1250 --
+  // exact here because the divisibility check precedes the use).
+  if (wheel_enabled_ && w % kTickNs[0] == 0) {
+    refresh_now_cache(now.as_ns());
+    const std::uint64_t q0 = w / kTickNs[0];
+    if (q0 - cached_cur_[0] < kBuckets[0]) {
+      ++wheel_hits_;
+      bucket_insert(0, q0, slot);
+      return;
+    }
+    if (q0 % (kTickNs[1] / kTickNs[0]) == 0) {
+      const std::uint64_t q1 = q0 / (kTickNs[1] / kTickNs[0]);
+      if (q1 - cached_cur_[1] < kBuckets[1]) {
+        ++wheel_hits_;
+        bucket_insert(1, q1, slot);
+        return;
+      }
+      if (q1 % (kTickNs[2] / kTickNs[1]) == 0) {
+        const std::uint64_t q2 = q1 / (kTickNs[2] / kTickNs[1]);
+        if (q2 - cached_cur_[2] < kBuckets[2]) {
+          ++wheel_hits_;
+          bucket_insert(2, q2, slot);
+          return;
+        }
+      }
+    }
+  }
+  ++heap_overflow_;
+  heap_push(when, n.seq, slot);
+}
+
+inline void TimerWheel::schedule_event(SimTime now, SimTime when, Event& ev) {
+  const std::uint32_t slot = acquire_slot();
+  slab_[slot].owner = nullptr;
+  slab_[slot].event = &ev;
+  place(slot, now, when);
+}
+
+inline void TimerWheel::remove_from_container(Node& n) {
+  switch (n.where) {
+    case kWhereBucket:
+      bucket_unlink(n);
+      break;
+    case kWhereHeap:
+      heap_remove_at(n.pos);
+      break;
+    case kWhereFree:
+      assert(false && "removing a free node");
+      break;
+  }
+}
+
+inline bool TimerWheel::cancel(TimerId id) {
+  if (id == kInvalidTimer) return false;
+  const Node* found = find_live(id);
+  if (found == nullptr) {
+    ++cancels_after_fire_;
+    return false;
+  }
+  const auto slot = static_cast<std::uint32_t>(id) - 1;
+  remove_from_container(slab_[slot]);
+  release_slot(slot);
+  ++canceled_;
+  return true;
+}
+
+inline void TimerWheel::prime_due_context(std::uint64_t tns) {
+  due_.tns = tns;
+  due_.eligible = 0;
+  // Divisibility nests (250 | 312500 | 625000): one failed modulus rules
+  // out every coarser level too. Dead levels are skipped without paying
+  // the modulus (see the DueContext invariant for why that is sound for
+  // levels 1/2 but not for level 0). Levels 1/2 must be flagged on
+  // their own occupancy regardless of the level-0 flag: with the wheel
+  // disabled and level 0 empty, entries already resident in coarse
+  // buckets still have to dispatch.
+  if (tns % kTickNs[0] != 0) return;
+  if (wheel_enabled_ || levels_[0].live != 0) {
+    due_.idx[0] =
+        static_cast<std::uint32_t>(tns / kTickNs[0]) & (kBuckets[0] - 1);
+    due_.eligible = 1;
+  }
+  if ((levels_[1].live != 0 || levels_[2].live != 0) &&
+      tns % kTickNs[1] == 0) {
+    if (levels_[1].live != 0) {
+      due_.idx[1] =
+          static_cast<std::uint32_t>(tns / kTickNs[1]) & (kBuckets[1] - 1);
+      due_.eligible |= 2;
+    }
+    if (levels_[2].live != 0 && tns % kTickNs[2] == 0) {
+      due_.idx[2] =
+          static_cast<std::uint32_t>(tns / kTickNs[2]) & (kBuckets[2] - 1);
+      due_.eligible |= 4;
+    }
+  }
+}
+
+inline SimTime TimerWheel::next_time(SimTime now) {
+  assert(live_ != 0);
+  SimTime best = SimTime::max();
+  bool found = false;
+  if (!heap_.empty()) {
+    best = heap_[0].when;
+    found = true;
+  }
+  refresh_now_cache(now.as_ns());
+  std::uint64_t best_q0 = 0;   // winning level-0 tick, when best_from_l0
+  std::uint32_t best_p0 = 0;   // its bucket position
+  bool best_from_l0 = false;
+  for (int l = 0; l < kLevels; ++l) {
+    const Level& lv = levels_[l];
+    if (lv.live == 0) continue;
+    const std::uint64_t cur = cached_cur_[l];
+    const std::uint32_t mask = kBuckets[l] - 1;
+    const std::uint32_t p0 = static_cast<std::uint32_t>(cur) & mask;
+    const std::uint32_t p = next_occupied(l, p0);
+    assert(p != kNil);
+    const std::uint32_t d = (p - p0) & mask;  // ring distance, 0..n-1
+    const SimTime t = SimTime::ns((cur + d) * kTickNs[l]);
+    assert(t >= now);
+    if (!found || t < best) {
+      best = t;
+      found = true;
+      best_from_l0 = l == 0;
+      if (best_from_l0) {
+        best_q0 = cur + d;
+        best_p0 = p;
+      }
+    } else if (l == 0 && t == best) {
+      // Heap holds the same instant; the level-0 context still applies.
+      best_q0 = cur + d;
+      best_p0 = p;
+      best_from_l0 = true;
+    }
+  }
+  assert(found && "live entries exist but no container holds one");
+  // Prepay the winner's grid arithmetic for the pops. When the instant
+  // came from level 0 its tick and bucket are already in hand, and the
+  // coarser-level flags derive from q0 without touching the raw time
+  // (t % 312500 == 0 iff (t/250) % 1250 == 0); dead coarse levels skip
+  // even that (they cannot gain entries due at this instant mid-drain).
+  const std::uint64_t tns = best.as_ns();
+  if (best_from_l0) {
+    due_.tns = tns;
+    due_.idx[0] = best_p0;
+    due_.eligible = 1;
+    if ((levels_[1].live != 0 || levels_[2].live != 0) &&
+        best_q0 % (kTickNs[1] / kTickNs[0]) == 0) {
+      if (levels_[1].live != 0) {
+        due_.idx[1] =
+            static_cast<std::uint32_t>(tns / kTickNs[1]) & (kBuckets[1] - 1);
+        due_.eligible |= 2;
+      }
+      if (levels_[2].live != 0 && tns % kTickNs[2] == 0) {
+        due_.idx[2] =
+            static_cast<std::uint32_t>(tns / kTickNs[2]) & (kBuckets[2] - 1);
+        due_.eligible |= 4;
+      }
+    }
+  } else {
+    prime_due_context(tns);
+  }
+  return best;
+}
+
+inline bool TimerWheel::pop_due(SimTime t, Event*& ev, UniqueFunction& fn) {
+  const std::uint64_t tns = t.as_ns();
+  if (due_.tns != tns) prime_due_context(tns);
+  std::uint32_t best = kNil;
+  std::uint64_t best_seq = ~std::uint64_t{0};
+  for (int l = 0; l < kLevels; ++l) {
+    if (!(due_.eligible & (1u << l))) continue;
+    const Level& lv = levels_[l];
+    if (lv.live == 0) continue;
+    std::uint32_t s = lv.heads[due_.idx[l]];
+    // The bucket holds exactly one instant; if it is not `t`, the
+    // bucket belongs to an in-window tick and `t` is a beyond-horizon
+    // heap instant that merely aliases the same ring position.
+    if (s == kNil || slab_[s].when != t) continue;
+    // Bucket lists are unordered; scan for the minimum seq (due
+    // batches are tiny -- usually a single entry).
+    for (; s != kNil; s = slab_[s].next) {
+      assert(slab_[s].when == t);
+      if (slab_[s].seq < best_seq) {
+        best_seq = slab_[s].seq;
+        best = s;
+      }
+    }
+  }
+  bool from_heap = false;
+  if (!heap_.empty() && heap_[0].when == t && heap_[0].seq < best_seq) {
+    best = heap_[0].slot;
+    from_heap = true;
+  }
+  if (best == kNil) return false;
+  Node& n = slab_[best];
+  if (from_heap) {
+    heap_remove_at(0);
+  } else {
+    bucket_unlink(n);
+  }
+  ev = n.event;
+  if (ev == nullptr) fn = std::move(n.fn);
+  release_slot(best);
+  ++fired_;
+  return true;
+}
+
+}  // namespace btsc::sim

@@ -1,0 +1,350 @@
+// Timing-wheel/heap boundary semantics: which timers take the O(1) ring
+// buckets vs the overflow heap, exact (when, seq) ordering across the
+// two containers, cancel-in-bucket, and the kernel's zero-allocation
+// steady-state contract (counted via a global operator new hook).
+//
+// The wheel levels under test (see sim/timer_wheel.hpp):
+//   L0: 250 ns x 4096   -> 1.024 ms horizon
+//   L1: 312.5 us x 1024 -> 320 ms horizon
+//   L2: 625 us x 4096   -> 2.56 s horizon
+// Off-grid instants and farther-out timers overflow into the 4-ary heap.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <new>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "baseband/bt_clock.hpp"
+#include "core/system.hpp"
+#include "sim/environment.hpp"
+#include "sim/time.hpp"
+#include "sim/tracer.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+
+}  // namespace
+
+// GCC's -Wmismatched-new-delete heuristic flags the malloc/free pair it
+// can see through this replaced allocator; the pairing is the standard
+// counting-hook idiom and is correct (new -> malloc, delete -> free).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { operator delete(p); }
+
+#pragma GCC diagnostic pop
+
+namespace btsc::sim {
+namespace {
+
+using namespace btsc::sim::literals;
+
+std::uint64_t allocs() { return g_allocs.load(std::memory_order_relaxed); }
+
+// ---- wheel/heap placement boundaries ----
+
+TEST(TimerWheelTest, GridAlignedNearTimerHitsWheel) {
+  Environment env;
+  env.schedule(250_ns, [] {});                      // finest grid
+  env.schedule(1_us, [] {});                        // bit grid
+  env.schedule(baseband::kTickPeriod, [] {});       // half-slot
+  env.schedule(baseband::kSlotDuration * 4, [] {}); // 4 slots (level 1)
+  env.schedule(1_sec, [] {});                       // superframe (level 2)
+  const auto s = env.scheduler_stats();
+  EXPECT_EQ(s.scheduled, 5u);
+  EXPECT_EQ(s.wheel_hits, 5u);
+  EXPECT_EQ(s.heap_overflow, 0u);
+}
+
+TEST(TimerWheelTest, OffGridTimerOverflowsToHeap) {
+  Environment env;
+  env.schedule(33_ns, [] {});        // off the 250 ns grid
+  env.schedule(SimTime::ns(312'501), [] {});
+  const auto s = env.scheduler_stats();
+  EXPECT_EQ(s.wheel_hits, 0u);
+  EXPECT_EQ(s.heap_overflow, 2u);
+}
+
+TEST(TimerWheelTest, FarHorizonTimerOverflowsToHeap) {
+  Environment env;
+  // Grid-aligned but beyond the 2.56 s level-2 horizon.
+  env.schedule(10_sec, [] {});
+  const auto s = env.scheduler_stats();
+  EXPECT_EQ(s.wheel_hits, 0u);
+  EXPECT_EQ(s.heap_overflow, 1u);
+}
+
+TEST(TimerWheelTest, HorizonBoundaryIsExact) {
+  Environment env;
+  // From t=0, level 0 covers ticks [0, 4096): the last in-horizon
+  // 250 ns-grid instant is 4095*250 ns. 4096*250 ns = 1.024 ms is out of
+  // level 0, not slot-aligned, and so overflows to the heap.
+  env.schedule(SimTime::ns(4095 * 250), [] {});
+  EXPECT_EQ(env.scheduler_stats().wheel_hits, 1u);
+  env.schedule(SimTime::ns(4096 * 250), [] {});
+  EXPECT_EQ(env.scheduler_stats().heap_overflow, 1u);
+  // The same boundary at level 1: 1023 half-slots in, 1024 out (and
+  // odd, so not level-2 eligible either).
+  env.schedule(baseband::kTickPeriod * 1023, [] {});
+  EXPECT_EQ(env.scheduler_stats().wheel_hits, 2u);
+  env.schedule(baseband::kTickPeriod * 1025, [] {});
+  EXPECT_EQ(env.scheduler_stats().heap_overflow, 2u);
+  // Level 2: 1024 half-slots = 512 slots is even-slot aligned -> wheel.
+  env.schedule(baseband::kTickPeriod * 1024, [] {});
+  EXPECT_EQ(env.scheduler_stats().wheel_hits, 3u);
+}
+
+TEST(TimerWheelTest, WheelDisabledSendsEverythingToHeap) {
+  Environment env;
+  env.set_timer_wheel_enabled(false);
+  bool ran = false;
+  env.schedule(baseband::kTickPeriod, [&ran] { ran = true; });
+  const auto s = env.scheduler_stats();
+  EXPECT_EQ(s.wheel_hits, 0u);
+  EXPECT_EQ(s.heap_overflow, 1u);
+  env.run_until(1_ms);
+  EXPECT_TRUE(ran);
+}
+
+TEST(TimerWheelTest, CoarseBucketResidentsDispatchAfterWheelDisable) {
+  // Regression: entries already resident in level-1/2 buckets must still
+  // dispatch after set_timer_wheel_enabled(false) empties nothing --
+  // their due-instant eligibility cannot be gated on level 0 being
+  // enabled or occupied (this once made run_until spin forever).
+  Environment env;
+  bool l1 = false, l2 = false;
+  env.schedule(baseband::kSlotDuration * 4, [&l1] { l1 = true; });  // level 1
+  env.schedule(1_sec, [&l2] { l2 = true; });                        // level 2
+  EXPECT_EQ(env.scheduler_stats().wheel_hits, 2u);
+  env.set_timer_wheel_enabled(false);
+  env.run_until(2_sec);
+  EXPECT_TRUE(l1);
+  EXPECT_TRUE(l2);
+  EXPECT_TRUE(env.idle());
+}
+
+// ---- ordering across the wheel/heap boundary ----
+
+TEST(TimerWheelTest, SameInstantAcrossContainersFiresInScheduleOrder) {
+  Environment env;
+  std::vector<int> order;
+  // A lands in the heap (3 s is past every horizon when scheduled from
+  // t=0); B and C land in a level-0 bucket for the *same instant* once
+  // time has advanced close enough. FIFO (seq) order must hold across
+  // the container split.
+  env.schedule(3_sec, [&] { order.push_back(1) ; });
+  env.schedule(3_sec - 1_ms + 250_ns, [&]
+               {  // runs at t = 2.999s + 250ns: 3 s is now in horizon
+                 env.schedule(1_ms - 250_ns, [&] { order.push_back(2); });
+                 env.schedule(1_ms - 250_ns, [&] { order.push_back(3); });
+               });
+  env.schedule(3_sec, [&] { order.push_back(4); });
+  env.run_until(4_sec);
+  // Seq order: 1 (heap), 4 (heap), then 2, 3 (bucket, scheduled later).
+  EXPECT_EQ(order, (std::vector<int>{1, 4, 2, 3}));
+  EXPECT_TRUE(env.idle());
+}
+
+TEST(TimerWheelTest, MixedGridAndOffGridOrderingIsGlobal) {
+  Environment env;
+  std::vector<std::uint64_t> fired;
+  // Interleave on-grid (wheel) and off-grid (heap) timers over a dense
+  // window; global time order (with FIFO tiebreak) must emerge.
+  for (int i = 0; i < 400; ++i) {
+    const std::uint64_t ns = (static_cast<std::uint64_t>(i) * 7919) % 100000;
+    env.schedule(SimTime::ns(ns), [&fired, &env] {
+      fired.push_back(env.now().as_ns());
+    });
+  }
+  env.run_until(1_ms);
+  ASSERT_EQ(fired.size(), 400u);
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    EXPECT_LE(fired[i - 1], fired[i]);
+  }
+  const auto s = env.scheduler_stats();
+  EXPECT_GT(s.wheel_hits, 0u);
+  EXPECT_GT(s.heap_overflow, 0u);
+}
+
+TEST(TimerWheelTest, ZeroDelayFromCallbackFiresSameInstantInSeqOrder) {
+  Environment env;
+  std::vector<int> order;
+  env.schedule(baseband::kTickPeriod, [&] {
+    order.push_back(1);
+    env.schedule(SimTime::zero(), [&] { order.push_back(3); });
+  });
+  env.schedule(baseband::kTickPeriod, [&] { order.push_back(2); });
+  env.run_until(baseband::kTickPeriod);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(env.now(), baseband::kTickPeriod);
+}
+
+// ---- cancellation in buckets ----
+
+TEST(TimerWheelTest, CancelInBucketIsTrueRemoval) {
+  Environment env;
+  bool ran = false;
+  const TimerId id = env.schedule(baseband::kTickPeriod, [&] { ran = true; });
+  EXPECT_EQ(env.scheduler_stats().wheel_hits, 1u);
+  EXPECT_TRUE(env.pending(id));
+  env.cancel(id);
+  EXPECT_FALSE(env.pending(id));
+  EXPECT_TRUE(env.idle());  // no dead entry left in the bucket
+  env.run_until(1_ms);
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(env.scheduler_stats().fired, 0u);
+  EXPECT_EQ(env.scheduler_stats().canceled, 1u);
+}
+
+TEST(TimerWheelTest, CancelMiddleOfSharedBucketKeepsSiblings) {
+  Environment env;
+  std::vector<int> order;
+  TimerId ids[3];
+  for (int i = 0; i < 3; ++i) {
+    ids[i] = env.schedule(baseband::kSlotDuration, [&order, i] {
+      order.push_back(i);
+    });
+  }
+  env.cancel(ids[1]);  // unlink from the middle of the bucket list
+  env.run_until(1_ms);
+  EXPECT_EQ(order, (std::vector<int>{0, 2}));
+  EXPECT_TRUE(env.idle());
+}
+
+TEST(TimerWheelTest, CancelSameInstantSiblingInBucketFromCallback) {
+  Environment env;
+  bool sibling_ran = false, later_ran = false;
+  TimerId sibling = kInvalidTimer;
+  env.schedule(baseband::kTickPeriod, [&] { env.cancel(sibling); });
+  sibling =
+      env.schedule(baseband::kTickPeriod, [&] { sibling_ran = true; });
+  env.schedule(baseband::kTickPeriod, [&] { later_ran = true; });
+  env.run_until(1_ms);
+  EXPECT_FALSE(sibling_ran);
+  EXPECT_TRUE(later_ran);
+  EXPECT_TRUE(env.idle());
+}
+
+TEST(TimerWheelTest, CancelOwnedSpansWheelAndHeap) {
+  Environment env;
+  int mine = 0, other = 0;
+  const int tag = 0;
+  env.schedule(baseband::kTickPeriod, [&] { ++mine; }, &tag);  // bucket
+  env.schedule(10_sec, [&] { ++mine; }, &tag);                 // heap
+  env.schedule(33_ns, [&] { ++mine; }, &tag);                  // heap
+  env.schedule(baseband::kTickPeriod, [&] { ++other; });
+  env.cancel_owned(&tag);
+  env.run_until(11_sec);
+  EXPECT_EQ(mine, 0);
+  EXPECT_EQ(other, 1);
+  EXPECT_EQ(env.scheduler_stats().canceled, 3u);
+  EXPECT_TRUE(env.idle());
+}
+
+TEST(TimerWheelTest, CanceledBucketEntryDestroysCapturedState) {
+  Environment env;
+  auto alive = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = alive;
+  const TimerId id =
+      env.schedule(baseband::kTickPeriod, [keep = std::move(alive)] {
+        (void)*keep;
+      });
+  EXPECT_FALSE(watch.expired());
+  env.cancel(id);
+  // True cancellation destroys the capture immediately, not at slot
+  // reuse or environment teardown.
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(TimerWheelTest, StaleHandleAfterBucketReuseIsInert) {
+  Environment env;
+  bool second = false;
+  const TimerId id1 = env.schedule(250_ns, [] {});
+  env.run_until(1_us);
+  const TimerId id2 = env.schedule(250_ns, [&] { second = true; });
+  EXPECT_NE(id1, id2);
+  env.cancel(id1);  // stale: must not touch id2's slot reuse
+  EXPECT_TRUE(env.pending(id2));
+  env.run_until(2_us);
+  EXPECT_TRUE(second);
+  EXPECT_EQ(env.scheduler_stats().cancels_after_fire, 1u);
+}
+
+// ---- zero-allocation steady state ----
+
+TEST(TimerWheelTest, SteadyStateChurnPerformsZeroAllocations) {
+  Environment env;
+  std::uint64_t fired = 0;
+  // Warm-up: reach peak slab/heap footprint (slab slots, heap array,
+  // free list) so the steady-state loop below reuses everything.
+  std::vector<TimerId> guards(8, kInvalidTimer);
+  auto churn_round = [&] {
+    for (TimerId id : guards) env.cancel(id);
+    for (int g = 0; g < 8; ++g) {
+      guards[static_cast<std::size_t>(g)] =
+          env.schedule(baseband::kTickPeriod * (2 + g), [&fired] { ++fired; });
+    }
+    env.schedule(33_ns, [&fired] { ++fired; });       // heap path too
+    env.run(baseband::kTickPeriod);
+  };
+  for (int i = 0; i < 64; ++i) churn_round();
+  // Steady state: schedule/fire/cancel across both containers must not
+  // touch the global allocator at all.
+  const auto before = allocs();
+  for (int i = 0; i < 1024; ++i) churn_round();
+  EXPECT_EQ(allocs(), before);
+  EXPECT_GT(fired, 0u);
+}
+
+// ---- wheel/heap dispatch equivalence (the swap-safety gate) ----
+
+/// Runs the paper's piconet-creation scenario with a VCD tracer and
+/// returns the VCD text. `wheel` selects the timing-wheel or the
+/// heap-only (pre-wheel kernel) dispatch path.
+std::string creation_vcd(bool wheel, const std::string& path) {
+  core::SystemConfig sc;
+  sc.num_slaves = 2;
+  sc.seed = 1234;
+  sc.ber = 1.0 / 80;  // noisy: retries, backoffs, response timeouts
+  sc.vcd_path = path;
+  core::BluetoothSystem sys(sc);
+  sys.env().set_timer_wheel_enabled(wheel);
+  for (int i = 0; i < 2; ++i) sys.slave(i).lc().enable_inquiry_scan();
+  sys.master().lc().enable_inquiry();
+  sys.run(80_ms);
+  sys.finish_trace();
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(TimerWheelTest, VcdByteIdenticalAcrossWheelAndHeapDispatch) {
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  const std::string base = ::testing::TempDir() + info->name();
+  const std::string a = creation_vcd(true, base + "_wheel.vcd");
+  const std::string b = creation_vcd(false, base + "_heap.vcd");
+  ASSERT_FALSE(a.empty());
+  // Byte-for-byte: every signal edge of the whole creation scenario at
+  // the same timestamp in the same order, wheel or not.
+  EXPECT_EQ(a, b);
+  std::remove((base + "_wheel.vcd").c_str());
+  std::remove((base + "_heap.vcd").c_str());
+}
+
+}  // namespace
+}  // namespace btsc::sim

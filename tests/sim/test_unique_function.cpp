@@ -1,0 +1,235 @@
+// sim::UniqueFunction semantics: move-only captures, inline small-buffer
+// storage (zero allocation), oversized-capture heap fallback, and
+// destruction of captured state -- the allocation contract the kernel's
+// schedule/fire/cancel hot path is built on.
+//
+// This TU overrides the global allocator with a counting hook, so every
+// test can assert exactly how many heap allocations a construct/move/
+// destroy sequence performed. Each test file is its own executable, so
+// the override is visible binary-wide but cannot leak into other suites.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <utility>
+
+#include "sim/unique_function.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_frees{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept {
+  if (p != nullptr) g_frees.fetch_add(1, std::memory_order_relaxed);
+  std::free(p);
+}
+
+void operator delete(void* p, std::size_t) noexcept { operator delete(p); }
+
+namespace btsc::sim {
+namespace {
+
+std::uint64_t allocs() { return g_allocs.load(std::memory_order_relaxed); }
+std::uint64_t frees() { return g_frees.load(std::memory_order_relaxed); }
+
+TEST(UniqueFunctionTest, DefaultIsEmptyAndFalsy) {
+  UniqueFunction f;
+  EXPECT_FALSE(f);
+  EXPECT_TRUE(f == nullptr);
+  UniqueFunction g(nullptr);
+  EXPECT_FALSE(g);
+}
+
+TEST(UniqueFunctionTest, InvokesSmallTrivialCapture) {
+  int hits = 0;
+  UniqueFunction f([&hits] { ++hits; });
+  EXPECT_TRUE(f);
+  f();
+  f();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(UniqueFunctionTest, SmallCaptureDoesNotAllocate) {
+  int x = 0;
+  const auto before = allocs();
+  {
+    UniqueFunction f([&x] { ++x; });
+    f();
+    UniqueFunction g(std::move(f));
+    g();
+  }
+  EXPECT_EQ(allocs(), before);
+  EXPECT_EQ(x, 2);
+}
+
+TEST(UniqueFunctionTest, CapacityCaptureStaysInline) {
+  // A callable of exactly kInlineCapacity bytes must not allocate.
+  struct Snug {
+    unsigned char bytes[UniqueFunction::kInlineCapacity - sizeof(void*)];
+    unsigned char* out;
+    void operator()() { *out = bytes[0]; }
+  };
+  static_assert(sizeof(Snug) == UniqueFunction::kInlineCapacity);
+  static_assert(UniqueFunction::stores_inline_v<Snug>);
+  unsigned char seen = 0;
+  Snug snug{};
+  snug.bytes[0] = 9;
+  snug.out = &seen;
+  const auto before = allocs();
+  UniqueFunction f(snug);
+  f();
+  EXPECT_EQ(allocs(), before);
+  EXPECT_EQ(seen, 9);
+}
+
+TEST(UniqueFunctionTest, MoveOnlyCaptureWorks) {
+  // std::function cannot hold this lambda at all (it requires copyable
+  // targets); UniqueFunction must.
+  auto p = std::make_unique<int>(42);
+  int got = 0;
+  UniqueFunction f([p = std::move(p), &got] { got = *p; });
+  f();
+  EXPECT_EQ(got, 42);
+}
+
+TEST(UniqueFunctionTest, OversizedCaptureFallsBackToOneHeapAllocation) {
+  struct Big {
+    unsigned char bytes[UniqueFunction::kInlineCapacity + 16];
+  };
+  static_assert(!UniqueFunction::stores_inline_v<Big>);
+  Big big{};
+  big.bytes[0] = 3;
+  unsigned char seen = 0;
+  const auto before = allocs();
+  {
+    UniqueFunction f([big, &seen] { seen = big.bytes[0]; });
+    EXPECT_EQ(allocs(), before + 1);  // exactly one block
+    f();
+    // Moving a heap-backed callback steals the pointer: no new block.
+    UniqueFunction g(std::move(f));
+    g();
+    EXPECT_EQ(allocs(), before + 1);
+  }
+  EXPECT_EQ(seen, 3);
+}
+
+TEST(UniqueFunctionTest, OversizedCaptureBlockIsFreedOnDestruction) {
+  struct Big {
+    unsigned char bytes[UniqueFunction::kInlineCapacity * 2];
+  };
+  Big big{};
+  const auto a0 = allocs();
+  const auto f0 = frees();
+  {
+    UniqueFunction f([big] { (void)big; });
+    EXPECT_EQ(allocs(), a0 + 1);
+  }
+  EXPECT_EQ(frees(), f0 + 1);
+}
+
+TEST(UniqueFunctionTest, MoveTransfersAndEmptiesSource) {
+  int hits = 0;
+  UniqueFunction f([&hits] { ++hits; });
+  UniqueFunction g(std::move(f));
+  EXPECT_FALSE(f);  // NOLINT(bugprone-use-after-move): contract under test
+  EXPECT_TRUE(g);
+  g();
+  EXPECT_EQ(hits, 1);
+  f = std::move(g);
+  EXPECT_FALSE(g);  // NOLINT(bugprone-use-after-move)
+  f();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(UniqueFunctionTest, MoveAssignDestroysPreviousPayload) {
+  auto alive = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = alive;
+  UniqueFunction f([keep = std::move(alive)] { (void)*keep; });
+  EXPECT_FALSE(watch.expired());
+  f = UniqueFunction([] {});
+  EXPECT_TRUE(watch.expired());  // old capture destroyed by the assign
+}
+
+TEST(UniqueFunctionTest, ResetDestroysCapturedState) {
+  auto alive = std::make_shared<int>(5);
+  std::weak_ptr<int> watch = alive;
+  UniqueFunction f([keep = std::move(alive)] { (void)*keep; });
+  EXPECT_FALSE(watch.expired());
+  f.reset();
+  EXPECT_TRUE(watch.expired());
+  EXPECT_FALSE(f);
+  f = nullptr;  // idempotent
+}
+
+TEST(UniqueFunctionTest, DestructorDestroysCapturedState) {
+  auto alive = std::make_shared<int>(5);
+  std::weak_ptr<int> watch = alive;
+  {
+    UniqueFunction f([keep = std::move(alive)] { (void)*keep; });
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(UniqueFunctionTest, MovedFromObjectIsReusable) {
+  int hits = 0;
+  UniqueFunction f([&hits] { ++hits; });
+  UniqueFunction g(std::move(f));
+  g();
+  f = UniqueFunction([&hits] { hits += 10; });
+  f();
+  EXPECT_EQ(hits, 11);
+}
+
+TEST(UniqueFunctionTest, EmplaceConstructsInPlace) {
+  int hits = 0;
+  UniqueFunction f;
+  f.emplace([&hits] { ++hits; });
+  f();
+  EXPECT_EQ(hits, 1);
+  // emplace over an existing payload destroys it first.
+  auto alive = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = alive;
+  f.emplace([keep = std::move(alive)] { (void)*keep; });
+  EXPECT_FALSE(watch.expired());
+  f.emplace([] {});
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(UniqueFunctionTest, WrapsStdFunctionByValue) {
+  int hits = 0;
+  std::function<void()> sf = [&hits] { ++hits; };
+  UniqueFunction f(sf);  // copies the std::function in
+  sf = nullptr;
+  f();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(UniqueFunctionTest, NonTrivialInlineCaptureMovesCorrectly) {
+  // A capture with a real destructor but inline size: the managed (non
+  // -trivial) inline path must move-construct and destroy properly.
+  auto alive = std::make_shared<int>(9);
+  std::weak_ptr<int> watch = alive;
+  int got = 0;
+  UniqueFunction f([keep = std::move(alive), &got] { got = *keep; });
+  UniqueFunction g(std::move(f));
+  EXPECT_FALSE(watch.expired());
+  g();
+  EXPECT_EQ(got, 9);
+  g.reset();
+  EXPECT_TRUE(watch.expired());
+}
+
+}  // namespace
+}  // namespace btsc::sim
