@@ -17,8 +17,12 @@
 #include <functional>
 #include <vector>
 
+#include "baseband/access_code.hpp"
 #include "baseband/bt_clock.hpp"
+#include "baseband/packet.hpp"
+#include "baseband/receiver.hpp"
 #include "core/system.hpp"
+#include "phy/channel.hpp"
 #include "sim/clock.hpp"
 #include "sim/environment.hpp"
 
@@ -29,13 +33,17 @@ using namespace btsc::sim::literals;
 
 /// The paper's scenario: 4 devices, 0.48 s of simulated time during
 /// piconet creation. Reports simulated 1 MHz clock cycles per second.
-void BM_PaperScenario480ms(benchmark::State& state) {
+/// `burst` selects the word-packed burst transport (the default) or the
+/// one-event-per-bit reference path -- the pair measures exactly what
+/// the PHY batching buys on the headline scenario.
+void paper_scenario(benchmark::State& state, bool burst) {
   for (auto _ : state) {
     core::SystemConfig sc;
     sc.num_slaves = 3;
     sc.seed = 7;
     sc.lc.inquiry_timeout_slots = 65000;
     core::BluetoothSystem sys(sc);
+    sys.channel().set_burst_transport_enabled(burst);
     // Start the creation (inquiry + scans) and run 0.48 s of sim time.
     for (int i = 0; i < 3; ++i) sys.slave(i).lc().enable_inquiry_scan();
     sys.master().lc().enable_inquiry();
@@ -47,7 +55,73 @@ void BM_PaperScenario480ms(benchmark::State& state) {
       480e3 * static_cast<double>(state.iterations()),
       benchmark::Counter::kIsRate);
 }
+
+void BM_PaperScenario480ms(benchmark::State& state) {
+  paper_scenario(state, /*burst=*/true);
+}
 BENCHMARK(BM_PaperScenario480ms)->Unit(benchmark::kMillisecond);
+
+void BM_PaperScenario480msPerBit(benchmark::State& state) {
+  paper_scenario(state, /*burst=*/false);
+}
+BENCHMARK(BM_PaperScenario480msPerBit)->Unit(benchmark::kMillisecond);
+
+/// Full packet codec round trip through the word-packed framing stack:
+/// compose a DH5 (access code, header FEC 1/3 + HEC, whitening, CRC),
+/// then run every air bit through the receiver's batched sink protocol
+/// -- sliding-word sync correlation, bulk assembly, block FEC/whitening
+/// removal, table CRC -- exactly as a burst run delivers it.
+void BM_PacketDecode(benchmark::State& state) {
+  using namespace btsc::baseband;
+  const std::uint32_t lap = 0x2A613C;
+  const std::uint8_t uap = 0x47;
+  PacketHeader h;
+  h.type = PacketType::kDh5;
+  h.lt_addr = 1;
+  LinkParams params;
+  params.check_init = uap;
+  params.whiten_init = std::uint8_t{0x55};
+  const std::vector<std::uint8_t> user(300, 0xA5);
+  const std::vector<std::uint8_t> body =
+      build_acl_body(PacketType::kDh5, kLlidStart, true, user);
+
+  sim::Environment env;
+  Receiver rec(env, "rx");
+  std::uint64_t delivered = 0;
+  rec.set_handler([&](const Receiver::Result& r) {
+    delivered += r.payload_ok ? 1 : 0;
+  });
+
+  std::uint64_t bits_total = 0;
+  for (auto _ : state) {
+    sim::BitVector bits = access_code(lap, /*with_trailer=*/true);
+    bits.append(compose_after_access_code(h, body, params));
+    rec.configure(sync_word(lap), uap, params.whiten_init,
+                  Receiver::Expect::kFull);
+    // Deliver the packet the way a burst run does: quiet spans in bulk,
+    // effect samples through the per-sample entry.
+    std::size_t pos = 0;
+    while (pos < bits.size()) {
+      const std::size_t q = rec.quiet_prefix(&bits, pos, bits.size() - pos);
+      rec.consume_quiet(&bits, pos, q);
+      pos += q;
+      if (pos < bits.size()) {
+        rec.on_sample(phy::from_bit(bits[pos]));
+        ++pos;
+      }
+    }
+    bits_total += bits.size();
+    benchmark::DoNotOptimize(delivered);
+  }
+  if (delivered != static_cast<std::uint64_t>(state.iterations())) {
+    state.SkipWithError("DH5 round trip failed to decode");
+  }
+  state.counters["air_bits_per_s"] = benchmark::Counter(
+      static_cast<double>(bits_total), benchmark::Counter::kIsRate);
+  state.counters["packets_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PacketDecode)->Unit(benchmark::kMicrosecond);
 
 /// Raw kernel: one self-rescheduling timer (event-queue throughput).
 void BM_TimerChain(benchmark::State& state) {
@@ -217,6 +291,9 @@ const char* btsc_build_type() {
 
 int main(int argc, char** argv) {
   benchmark::AddCustomContext("btsc_build_type", btsc_build_type());
+  benchmark::AddCustomContext(
+      "burst_transport",
+      btsc::phy::NoisyChannel::burst_transport_default() ? "on" : "off");
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

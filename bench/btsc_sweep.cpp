@@ -32,7 +32,9 @@ void print_usage() {
       "  --base-seed S        root of the deterministic seed derivation\n"
       "  --max-points N       keep only the first N sweep points\n"
       "  --csv | --json       output format (default: text table)\n"
-      "  --out FILE           write to FILE (.json/.csv picks the format)\n");
+      "  --out FILE           write to FILE (.json/.csv picks the format)\n"
+      "  --no-burst           per-bit PHY reference transport (bit-identical\n"
+      "                       results; swap-safety escape hatch)\n");
 }
 
 void print_list() {

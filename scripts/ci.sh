@@ -3,11 +3,16 @@
 # API docs build when Doxygen is available, an ASan+UBSan build running
 # the kernel timing-wheel/scheduler/UniqueFunction/tracer suites
 # (timer-cancellation churn, wheel/heap boundary, callback lifetimes),
-# the integration tests and the threaded sweep-determinism test — so
-# memory/UB bugs and data races in the end-to-end paths cannot regress
-# silently — plus a metadata audit of the committed benchmark baseline
-# and a fig08/fig10 sweep byte-compare across 1/2/8 threads (the
-# timing-wheel swap-safety gate).
+# the word-packed framing / burst-transport suites (quiet-prefix
+# receiver catch-up, run fallback, VCD byte-compare, zero-allocation
+# round trip), the integration tests and the threaded sweep-determinism
+# test — so memory/UB bugs and data races in the end-to-end paths cannot
+# regress silently — plus a metadata audit of the committed benchmark
+# baseline (Release tree + burst-transport stamp), a fig08/fig10 sweep
+# byte-compare across 1/2/8 threads (the timing-wheel swap-safety gate),
+# and a fig08/fig10 byte-compare between the burst and per-bit PHY
+# transports (the burst swap-safety gate; kernel_* telemetry excluded —
+# fewer timer events is the optimisation being gated).
 #
 #   scripts/ci.sh
 set -euo pipefail
@@ -41,7 +46,22 @@ for key in library_build_type btsc_build_type; do
     exit 1
   fi
 done
-echo "BENCH_kernel.json metadata OK (release build)"
+# The baseline must also carry the burst-transport telemetry: the
+# context stamp proving the word-packed transport was on, and the
+# recorded batched-vs-per-bit paper-scenario pair.
+if ! grep -q '"burst_transport": "on"' BENCH_kernel.json; then
+  echo "error: BENCH_kernel.json context lacks \"burst_transport\": \"on\" —" >&2
+  echo "       the baseline was recorded without the PHY burst transport." >&2
+  echo "       Refresh it with bench/run_benches (uses build-bench/)." >&2
+  exit 1
+fi
+if ! grep -q '"per_bit_sim_clock_cycles_per_s"' BENCH_kernel.json; then
+  echo "error: BENCH_kernel.json lacks the burst_transport comparison block" >&2
+  echo "       (batched vs per-bit paper scenario); refresh it with" >&2
+  echo "       bench/run_benches." >&2
+  exit 1
+fi
+echo "BENCH_kernel.json metadata OK (release build, burst transport on)"
 
 echo "=== ASan+UBSan: kernel + integration + threaded determinism tests ==="
 # Drop -DNDEBUG from the RelWithDebInfo flags: the kernel's heap-invariant
@@ -54,6 +74,8 @@ cmake -B build-asan -S . -DBTSC_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 cmake --build build-asan -j "$jobs" --target \
       sim_test_scheduler sim_test_timer_wheel sim_test_unique_function \
       sim_test_tracer \
+      baseband_test_framing_word phy_test_burst_transport \
+      integration_test_burst_equivalence \
       integration_test_link integration_test_multislave integration_test_noise_stress \
       runner_test_sweep runner_test_determinism
 # sim_test_scheduler/sim_test_timer_wheel/sim_test_tracer exercise the
@@ -66,8 +88,15 @@ cmake --build build-asan -j "$jobs" --target \
 # simulations across 8 threads under the sanitizers: the bitwise-
 # equality assertions double as a data-race smoke for the whole
 # sim -> phy -> baseband -> core stack.
+# baseband_test_framing_word / phy_test_burst_transport /
+# integration_test_burst_equivalence cover the word-packed framing stack
+# and the burst transport (lazy receiver catch-up, run fallback, the
+# burst-vs-per-bit VCD byte-compare and the zero-allocation round trip)
+# with the debug asserts armed under the sanitizers.
 for t in sim_test_scheduler sim_test_timer_wheel sim_test_unique_function \
          sim_test_tracer \
+         baseband_test_framing_word phy_test_burst_transport \
+         integration_test_burst_equivalence \
          integration_test_link integration_test_multislave integration_test_noise_stress \
          runner_test_sweep runner_test_determinism; do
   "./build-asan/tests/$t"
@@ -96,6 +125,43 @@ for fig in 8 10; do
     fi
   done
   echo "fig$fig sweep byte-identical at 1/2/8 threads"
+done
+
+echo "=== burst-transport gate: fig06-fig12 byte-compare, batched vs per-bit ==="
+# The word-packed burst transport must never change simulation results
+# either: with --no-burst the same sweeps run on the one-event-per-bit
+# reference path and must produce identical rows/notes at every thread
+# count. Only the kernel_* telemetry may differ (fewer timer events is
+# the whole point), so those counters are stripped before comparing; see
+# docs/ARCHITECTURE.md, "Word-packed bit transport & burst delivery".
+# Every Monte-Carlo figure (fig06-08, fig10-12; fig09 is a waveform, not
+# a sweep) is compared burst-on vs per-bit; fig08/fig10 additionally
+# cross thread counts (the others are already thread-gated above via the
+# shared sweep engine).
+strip_kernel_meta() {
+  sed -E 's/, "kernel_[a-z_]+": "[0-9]+"//g' "$1"
+}
+for fig in 6 7 8 10 11 12; do
+  ref="$gate_dir/fig${fig}_1t.json"   # fig08/fig10 exist from above
+  if [[ ! -f "$ref" ]]; then
+    ./build/bench/btsc-sweep --fig "$fig" --quick --seeds 8 --threads 1 \
+        --out "$ref" >/dev/null
+  fi
+  threads_list="1"
+  if [[ "$fig" == "8" || "$fig" == "10" ]]; then threads_list="1 2 8"; fi
+  for threads in $threads_list; do
+    out="$gate_dir/fig${fig}_${threads}t_noburst.json"
+    ./build/bench/btsc-sweep --fig "$fig" --quick --seeds 8 \
+        --threads "$threads" --no-burst --out "$out" >/dev/null
+    if ! cmp -s <(strip_kernel_meta "$ref") <(strip_kernel_meta "$out"); then
+      echo "error: fig$fig sweep results differ between burst and per-bit" >&2
+      echo "       transport at $threads thread(s) (PHY equivalence broken;" >&2
+      echo "       see docs/ARCHITECTURE.md, 'Word-packed bit transport &" >&2
+      echo "       burst delivery')" >&2
+      exit 1
+    fi
+  done
+  echo "fig$fig sweep results identical with burst transport on/off ($threads_list thread(s))"
 done
 
 echo "=== CI OK ==="

@@ -64,21 +64,15 @@ sim::BitVector access_code(std::uint32_t lap, bool with_trailer) {
   return out;
 }
 
-Correlator::Correlator(const sim::BitVector& sync) {
-  for (std::size_t i = 0; i < kSyncWordBits; ++i) {
-    if (sync[i]) expected_ |= 1ull << i;
-  }
-}
+Correlator::Correlator(const sim::BitVector& sync)
+    : expected_(sync.extract_word(0, kSyncWordBits)) {}
 
 bool Correlator::push(bool bit) {
-  window_ = (window_ >> 1) | (static_cast<std::uint64_t>(bit) << 63);
-  ++bits_seen_;
-  if (bits_seen_ < kSyncWordBits) return false;
   // window_ bit 63 holds the newest bit; air bit i of the candidate sync
   // word sits at position i after the shift history aligns.
-  const int matches =
-      64 - std::popcount(window_ ^ (expected_ << 0));
-  return matches >= kSyncCorrelationThreshold;
+  window_ = (window_ >> 1) | (static_cast<std::uint64_t>(bit) << 63);
+  ++bits_seen_;
+  return bits_seen_ >= kSyncWordBits && matches(window_);
 }
 
 void Correlator::reset() {

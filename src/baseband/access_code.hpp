@@ -19,6 +19,8 @@
 // 64 positions match (spec-like sliding correlator).
 #pragma once
 
+#include <bit>
+#include <cassert>
 #include <cstdint>
 
 #include "sim/bitvector.hpp"
@@ -42,14 +44,27 @@ sim::BitVector sync_word(std::uint32_t lap);
 /// `with_trailer` (packets that carry a header).
 sim::BitVector access_code(std::uint32_t lap, bool with_trailer);
 
-/// Sliding sync-word correlator fed one bit at a time.
+/// Sliding sync-word correlator. The 64-bit shift register holds the
+/// last 64 received bits (bit i = air bit i of the candidate window), so
+/// one XOR + popcount gives the Hamming match per position, and a whole
+/// word of known-quiet bits can be shifted in at once.
 class Correlator {
  public:
+  Correlator() = default;
   explicit Correlator(const sim::BitVector& sync);
 
   /// Shifts one received bit in; returns true when the window correlates
   /// above threshold (sync detected at this bit position).
   bool push(bool bit);
+
+  /// Shifts `n` (1..64) bits in at once, LSB of `bits` first, WITHOUT
+  /// fire checks: the caller must know (e.g. from a prior probe on a
+  /// copy) that no position in the span correlates above threshold.
+  void advance(std::uint64_t bits, unsigned n) {
+    assert(n >= 1 && n <= 64);
+    window_ = n == 64 ? bits : (window_ >> n) | (bits << (64 - n));
+    bits_seen_ += n;
+  }
 
   /// Bits observed since construction or reset.
   std::uint64_t bits_seen() const { return bits_seen_; }
@@ -57,6 +72,10 @@ class Correlator {
   void reset();
 
  private:
+  bool matches(std::uint64_t w) const {
+    return 64 - std::popcount(w ^ expected_) >= kSyncCorrelationThreshold;
+  }
+
   std::uint64_t expected_ = 0;  // sync bits packed, bit i = air bit i
   std::uint64_t window_ = 0;
   std::uint64_t bits_seen_ = 0;

@@ -1,0 +1,36 @@
+// Bit-order reversal helpers shared by the table-driven codecs.
+//
+// Bluetooth transmits every field LSB first while the CRC/HEC registers
+// shift MSB first, so the byte-table paths index with the bit-reversed
+// data byte; the FEC 2/3 parity flies MSB first for the same reason.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace btsc::baseband {
+
+/// Reverses the low `width` (<= 8) bits of `v`; higher bits are dropped.
+constexpr std::uint8_t reverse_bits(std::uint8_t v, unsigned width) {
+  std::uint8_t r = 0;
+  for (unsigned i = 0; i < width; ++i) {
+    r = static_cast<std::uint8_t>((r << 1) | ((v >> i) & 1u));
+  }
+  return r;
+}
+
+namespace detail {
+constexpr std::array<std::uint8_t, 256> make_rev8_table() {
+  std::array<std::uint8_t, 256> t{};
+  for (unsigned b = 0; b < 256; ++b) {
+    t[b] = reverse_bits(static_cast<std::uint8_t>(b), 8);
+  }
+  return t;
+}
+}  // namespace detail
+
+/// Full-byte reversal table (the CRC/HEC hot-loop index transform).
+inline constexpr std::array<std::uint8_t, 256> kRev8 =
+    detail::make_rev8_table();
+
+}  // namespace btsc::baseband

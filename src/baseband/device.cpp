@@ -17,8 +17,14 @@ Device::Device(sim::Environment& env, std::string name,
     throw std::invalid_argument(
         "Device: clkn_phase must be a whole number of microseconds");
   }
-  radio_.set_rx_sink(
-      [this](phy::Logic4 sample) { receiver_.on_bit(sample); });
+  // The receiver IS the radio's batched sink: per-bit samples flow
+  // through Receiver::on_sample, silent/burst stretches through the
+  // quiet_prefix/consume_quiet protocol. The hooks let carrier-sense
+  // reads materialise pending samples and receiver reconfigurations
+  // re-derive the radio's side-effect barrier.
+  radio_.set_burst_rx_sink(&receiver_);
+  receiver_.set_transport_hooks([this] { radio_.rx_catch_up(); },
+                                [this] { radio_.rx_state_changed(); });
 }
 
 }  // namespace btsc::baseband

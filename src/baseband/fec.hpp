@@ -48,6 +48,17 @@ struct Fec23Result {
 /// block via syndrome lookup.
 Fec23Result fec23_decode(const sim::BitVector& coded);
 
+/// One 15-bit block in air order (10 data bits LSB first, then 5 parity
+/// bits MSB first), decoded via the popcount-parity syndrome. The
+/// receiver's streaming word path consumes blocks with this instead of
+/// slicing per-block BitVectors.
+struct Fec23Block {
+  std::uint16_t data10 = 0;
+  bool corrected = false;
+  bool failed = false;
+};
+Fec23Block fec23_decode_block15(std::uint16_t air15);
+
 /// Encodes exactly one 10-bit block into 15 bits (exposed for tests).
 std::uint16_t fec23_encode_block(std::uint16_t data10);
 

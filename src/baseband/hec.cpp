@@ -1,5 +1,9 @@
 #include "baseband/hec.hpp"
 
+#include <array>
+
+#include "baseband/bit_reverse.hpp"
+
 namespace btsc::baseband {
 namespace {
 
@@ -7,24 +11,51 @@ namespace {
 // (D^7..D^0) are 1010'0111b.
 constexpr std::uint8_t kHecPolyLow = 0xA7;
 
-std::uint8_t feed(std::uint8_t reg, bool bit) {
+/// Single-bit reference step (oracle for the byte table and sub-byte
+/// tails).
+constexpr std::uint8_t feed(std::uint8_t reg, bool bit) {
   const bool feedback = ((reg >> 7) & 1u) != static_cast<std::uint8_t>(bit);
   reg = static_cast<std::uint8_t>(reg << 1);
   if (feedback) reg ^= kHecPolyLow;
   return reg;
 }
 
+/// Byte-at-a-time update for the 8-bit register: reg' = T[reg ^
+/// rev8(byte)] with T[j] = eight zero-input steps from j. The data byte
+/// is bit-reversed into the index because bytes transmit LSB first.
+constexpr std::array<std::uint8_t, 256> make_table() {
+  std::array<std::uint8_t, 256> t{};
+  for (unsigned b = 0; b < 256; ++b) {
+    auto reg = static_cast<std::uint8_t>(b);
+    for (unsigned i = 0; i < 8; ++i) reg = feed(reg, false);
+    t[b] = reg;
+  }
+  return t;
+}
+
+constexpr std::array<std::uint8_t, 256> kTable = make_table();
+
+inline std::uint8_t feed_byte(std::uint8_t reg, std::uint8_t byte) {
+  return kTable[static_cast<std::uint8_t>(reg ^ kRev8[byte])];
+}
+
 }  // namespace
 
 std::uint8_t hec_compute(const sim::BitVector& bits, std::uint8_t init) {
   std::uint8_t reg = init;
-  for (std::size_t i = 0; i < bits.size(); ++i) reg = feed(reg, bits[i]);
+  const std::size_t n = bits.size();
+  std::size_t pos = 0;
+  for (; pos + 8 <= n; pos += 8) {
+    reg = feed_byte(reg,
+                    static_cast<std::uint8_t>(bits.extract_word(pos, 8)));
+  }
+  for (; pos < n; ++pos) reg = feed(reg, bits[pos]);
   return reg;
 }
 
 std::uint8_t hec_compute10(std::uint16_t header10, std::uint8_t init) {
-  std::uint8_t reg = init;
-  for (unsigned i = 0; i < 10; ++i) reg = feed(reg, (header10 >> i) & 1u);
+  std::uint8_t reg = feed_byte(init, static_cast<std::uint8_t>(header10));
+  for (unsigned i = 8; i < 10; ++i) reg = feed(reg, (header10 >> i) & 1u);
   return reg;
 }
 

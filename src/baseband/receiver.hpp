@@ -11,6 +11,15 @@
 // Results are pushed to a handler; a separate header hook lets the link
 // controller abort payload reception early when a packet is addressed to
 // a different slave (the paper's Fig. 5 shows exactly this RX gating).
+//
+// Burst transport: the receiver also implements phy::BurstRxSink. The
+// decode state machine is factored into a small copyable `Machine` whose
+// step() reports, instead of performing, every externally visible effect
+// (handler/hook invocation, RNG draw). quiet_prefix() dry-runs a scratch
+// copy of the machine to locate the next effect, consume_quiet() then
+// advances the real machine in bulk -- whole 64-bit words through the
+// correlator while searching -- and on_sample()/on_bit() executes effect
+// samples through the classic path at exactly their own instants.
 #pragma once
 
 #include <cstdint>
@@ -23,13 +32,15 @@
 #include "baseband/packet.hpp"
 #include "baseband/whitening.hpp"
 #include "phy/logic4.hpp"
+#include "phy/radio.hpp"
 #include "sim/bitvector.hpp"
 #include "sim/environment.hpp"
 #include "sim/time.hpp"
+#include "sim/unique_function.hpp"
 
 namespace btsc::baseband {
 
-class Receiver {
+class Receiver : public phy::BurstRxSink {
  public:
   /// What the current state machine phase expects on the air.
   enum class Expect : std::uint8_t {
@@ -65,67 +76,122 @@ class Receiver {
   void set_handler(Handler h) { handler_ = std::move(h); }
   void set_header_hook(HeaderHook h) { header_hook_ = std::move(h); }
 
-  /// Feed one channel sample (wire this to Radio::set_rx_sink).
+  /// Burst-transport wiring (done by Device): `catch_up` materialises
+  /// the radio's pending lazy samples (invoked before carrier_samples()
+  /// reads), `state_changed` tells the radio to re-derive its
+  /// side-effect barrier after an out-of-band reconfiguration.
+  void set_transport_hooks(sim::UniqueFunction catch_up,
+                           sim::UniqueFunction state_changed) {
+    catch_up_ = std::move(catch_up);
+    state_changed_ = std::move(state_changed);
+  }
+
+  /// Feed one channel sample (the radio's per-sample entry).
   void on_bit(phy::Logic4 sample);
+
+  // ---- phy::BurstRxSink ----
+  std::size_t quiet_prefix(const sim::BitVector* bits, std::size_t first,
+                           std::size_t count) const override;
+  void consume_quiet(const sim::BitVector* bits, std::size_t first,
+                     std::size_t count) override;
+  void on_sample(phy::Logic4 v) override { on_bit(v); }
 
   /// Abandons any in-progress assembly and restarts the sync search.
   void reset();
 
   /// True once a sync word has been found and the packet is assembling.
-  bool assembling() const { return phase_ != Phase::kSearch; }
+  /// Lazy-safe: search->assembly transitions only happen inside effect
+  /// samples, which always execute at their own instants.
+  bool assembling() const { return machine_.phase != Phase::kSearch; }
 
   /// Number of samples carrying a real signal (not 'Z') since the
   /// receiver was configured. The link controller compares snapshots of
   /// this counter for carrier sensing: an idle-slot listen window closes
   /// after ~32.5 us when nothing but 'Z' was heard (the paper's 2.6%
-  /// active-mode RX duty).
-  std::uint64_t carrier_samples() const { return carrier_samples_; }
+  /// active-mode RX duty). Materialises pending lazy samples first.
+  std::uint64_t carrier_samples() const {
+    if (catch_up_) catch_up_();
+    return carrier_samples_;
+  }
 
   // ---- statistics ----
   std::uint64_t syncs_detected() const { return syncs_; }
   std::uint64_t hec_failures() const { return hec_failures_; }
   std::uint64_t crc_failures() const { return crc_failures_; }
-  std::uint64_t fec_failures() const { return fec_failures_; }
+  std::uint64_t fec_failures() const { return machine_.fec_failures; }
 
  private:
   enum class Phase : std::uint8_t { kSearch, kTrailer, kHeader, kPayload };
 
+  /// What executing one more sample would make externally visible.
+  enum class Effect : std::uint8_t {
+    kNone,         // pure state update
+    kSync,         // correlator fired: handler (ID) or assembly start
+    kHeaderDone,   // 54 header bits in: HEC check + hook + result path
+    kPayloadBad,   // unframeable payload: failure result delivery
+    kPayloadDone,  // payload complete: CRC check + result delivery
+  };
+
+  /// Copyable decode state. step() performs every *quiet* state change
+  /// and reports -- without performing -- the first effect, so a probe
+  /// can dry-run a scratch copy bit by bit.
+  struct Machine {
+    Phase phase = Phase::kSearch;
+    Correlator correlator;
+    sim::BitVector collected;
+    PacketHeader header;
+    bool have_whitener = false;
+    Whitener whitener{0};
+    std::size_t payload_total_coded_bits = 0;  // 0 = unknown yet
+    std::size_t payload_body_bytes = 0;
+    sim::BitVector payload_data_bits;  // decoded (FEC removed) bits
+    bool payload_fec_failed = false;
+    /// Cumulative uncorrectable-block count (lives here so quiet block
+    /// decodes can bump it and probes on copies stay side-effect-free).
+    std::uint64_t fec_failures = 0;
+  };
+
+  static Effect step(Machine& m, bool bit);
+  static Effect payload_step(Machine& m);
+  /// Runs the effectful part of a sample whose step() reported `e`.
+  void execute(Effect e);
+
   void on_sync_found();
   void finish_header();
-  void start_payload();
+  void deliver_payload_bad();
   void on_payload_complete();
+  void reset_machine();
   void deliver(const Result& r);
 
   sim::Environment& env_;
   std::string name_;
 
   // configuration
-  sim::BitVector sync_word_;
-  std::optional<Correlator> correlator_;
+  bool configured_ = false;
   std::uint8_t check_init_ = kDefaultCheckInit;
   std::optional<std::uint8_t> whiten_init_;
   Expect expect_ = Expect::kIdOnly;
 
-  // assembly state
-  Phase phase_ = Phase::kSearch;
-  sim::BitVector collected_;
+  /// Clears and returns the reusable delivery record (its payload_body
+  /// keeps its capacity, so steady-state packet delivery performs no
+  /// heap allocation). Handlers must not retain references past the
+  /// callback.
+  Result& fresh_result();
+
+  Machine machine_;
+  mutable Machine scratch_;  // probe dry-run state (capacity reused)
+  Result result_;            // reused delivery record
   sim::SimTime sync_done_time_;
-  PacketHeader header_;
-  // Whitener state continues from the header into the payload.
-  std::optional<Whitener> whitener_;
-  std::size_t payload_total_coded_bits_ = 0;  // 0 = unknown yet
-  std::size_t payload_body_bytes_ = 0;
-  sim::BitVector payload_data_bits_;  // decoded (FEC removed) payload bits
-  bool payload_fec_failed_ = false;
 
   Handler handler_;
   HeaderHook header_hook_;
+  mutable sim::UniqueFunction catch_up_;
+  sim::UniqueFunction state_changed_;
 
   std::uint64_t carrier_samples_ = 0;
   std::uint64_t syncs_ = 0;
   std::uint64_t hec_failures_ = 0;
   std::uint64_t crc_failures_ = 0;
-  std::uint64_t fec_failures_ = 0;
 };
 
 }  // namespace btsc::baseband

@@ -4,8 +4,15 @@
 // 7-bit LFSR with polynomial g(D) = D^7 + D^4 + 1, initialised from the
 // master clock bits CLK[6:1] with the register MSB forced to 1. The same
 // operation descrambles, so whitening is an involution for a given clock.
+//
+// The word path precomputes, for every 7-bit register state, the next 64
+// output bits and the register state 64 steps later (a 2 KiB table built
+// once from the LFSR definition itself). apply() then XORs whole 64-bit
+// keystream words onto the packed BitVector instead of stepping the
+// register once per bit.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 #include "sim/bitvector.hpp"
@@ -32,17 +39,58 @@ class Whitener {
     return out;
   }
 
+  /// Returns the next `nbits` (<= 64) of the keystream, LSB-first (bit i
+  /// of the result whitens the i-th upcoming air bit), advancing the
+  /// register by `nbits` steps.
+  std::uint64_t keystream(unsigned nbits) {
+    const Step& s = steps()[reg_];
+    if (nbits == 64) {
+      reg_ = s.next;
+      return s.stream;
+    }
+    const std::uint64_t out = s.stream & ((1ull << nbits) - 1);
+    for (unsigned i = 0; i < nbits; ++i) next();
+    return out;
+  }
+
   /// XORs the stream onto `bits` in place, starting from the current
-  /// register state.
+  /// register state, one 64-bit keystream word at a time.
   void apply(sim::BitVector& bits) {
-    for (std::size_t i = 0; i < bits.size(); ++i) {
-      if (next()) bits.flip(i);
+    std::size_t pos = 0;
+    const std::size_t n = bits.size();
+    while (pos < n) {
+      const unsigned chunk =
+          static_cast<unsigned>(n - pos < 64 ? n - pos : 64);
+      bits.xor_word(pos, keystream(chunk), chunk);
+      pos += chunk;
     }
   }
 
   std::uint8_t state() const { return reg_; }
 
  private:
+  struct Step {
+    std::uint64_t stream = 0;  // 64 output bits, LSB first
+    std::uint8_t next = 0;     // register state 64 steps later
+  };
+
+  /// state -> (64 keystream bits, state after 64 steps); built once from
+  /// the single-step definition above.
+  static const std::array<Step, 128>& steps() {
+    static const std::array<Step, 128> table = [] {
+      std::array<Step, 128> t{};
+      for (unsigned s = 0; s < 128; ++s) {
+        Whitener w(static_cast<std::uint8_t>(s));
+        for (unsigned i = 0; i < 64; ++i) {
+          t[s].stream |= static_cast<std::uint64_t>(w.next()) << i;
+        }
+        t[s].next = w.state();
+      }
+      return t;
+    }();
+    return table;
+  }
+
   std::uint8_t reg_;
 };
 

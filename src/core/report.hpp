@@ -246,6 +246,10 @@ struct BenchArgs {
   std::uint64_t base_seed = 0;
   /// Keep only the first N sweep points; 0 = all.
   int max_points = 0;
+  /// Disable the PHY burst transport (per-bit reference path); the
+  /// simulation results are bit-identical either way -- this is the
+  /// swap-safety escape hatch, not a modelling knob.
+  bool no_burst = false;
 
   static BenchArgs parse(int argc, char** argv) {
     // Malformed numeric values keep the previous value and warn, rather
@@ -270,6 +274,8 @@ struct BenchArgs {
       const std::string arg = argv[i];
       if (arg == "--quick") {
         a.quick = true;
+      } else if (arg == "--no-burst") {
+        a.no_burst = true;
       } else if (arg == "--csv") {
         a.csv = true;
       } else if (arg == "--json") {

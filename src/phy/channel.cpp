@@ -1,8 +1,31 @@
 #include "phy/channel.hpp"
 
+#include <cassert>
 #include <stdexcept>
 
+#include "sim/environment.hpp"
+
 namespace btsc::phy {
+
+namespace {
+
+/// Process-wide default of ChannelConfig::burst_transport (the escape
+/// hatch flipped by `--no-burst` style switches before systems are
+/// built; sweeps read it once per channel construction).
+std::atomic<bool>& burst_default() {
+  static std::atomic<bool> enabled{true};
+  return enabled;
+}
+
+}  // namespace
+
+void NoisyChannel::set_burst_transport_default(bool enabled) {
+  burst_default().store(enabled, std::memory_order_relaxed);
+}
+
+bool NoisyChannel::burst_transport_default() {
+  return burst_default().load(std::memory_order_relaxed);
+}
 
 NoisyChannel::NoisyChannel(sim::Environment& env, std::string name,
                            ChannelConfig config)
@@ -13,15 +36,35 @@ NoisyChannel::NoisyChannel(sim::Environment& env, std::string name,
   if (config_.num_channels <= 0) {
     throw std::invalid_argument("NoisyChannel: need at least one RF channel");
   }
+  config_.burst_transport =
+      config_.burst_transport && burst_transport_default();
   if (env.tracer() != nullptr) {
     bus_trace_ = std::make_unique<sim::Signal<Logic4>>(
         env, child_name("bus"), Logic4::kZ);
   }
 }
 
+void NoisyChannel::set_ber(double ber) {
+  if (run_.active) fallback_run();
+  config_.ber = ber;
+}
+
+void NoisyChannel::set_burst_transport_enabled(bool enabled) {
+  if (!enabled && run_.active) fallback_run();
+  config_.burst_transport = enabled;
+}
+
 PortId NoisyChannel::attach(const std::string& device_name) {
-  ports_.push_back(Port{device_name, -1, Logic4::kZ});
+  ports_.push_back(Port{device_name, -1, Logic4::kZ, nullptr, -1});
   return static_cast<PortId>(ports_.size() - 1);
+}
+
+void NoisyChannel::set_listener(PortId port, Listener* listener) {
+  ports_.at(static_cast<std::size_t>(port)).listener = listener;
+}
+
+void NoisyChannel::set_listening(PortId port, int freq) {
+  ports_.at(static_cast<std::size_t>(port)).rx_freq = freq;
 }
 
 void NoisyChannel::drive(PortId port, int freq, Logic4 value) {
@@ -41,6 +84,13 @@ void NoisyChannel::drive(PortId port, int freq, Logic4 value) {
 }
 
 void NoisyChannel::apply(PortId port, int freq, Logic4 value) {
+  assert(!(run_.active && port == run_.port) &&
+         "per-bit drive from the port that owns the burst run");
+  // A second transmitter while a burst run is in flight: the
+  // single-transmitter premise broke, so the run degrades to exact
+  // per-bit scheduling before this drive lands.
+  if (run_.active && is_defined(value)) fallback_run();
+
   Logic4 v = value;
   if (is_defined(v)) {
     ++bits_driven_;
@@ -49,13 +99,27 @@ void NoisyChannel::apply(PortId port, int freq, Logic4 value) {
       ++bits_flipped_;
     }
   }
-  ports_[static_cast<std::size_t>(port)].freq = freq;
-  ports_[static_cast<std::size_t>(port)].value = v;
+  Port& p = ports_[static_cast<std::size_t>(port)];
+  const bool was_defined = is_defined(p.value);
+  const bool now_defined = is_defined(v);
+  p.freq = freq;
+  p.value = v;
+  if (was_defined != now_defined) {
+    defined_ports_ += now_defined ? 1 : -1;
+    // The medium at this frequency appeared or vanished: let lazy
+    // receivers materialise their pending samples against the old state
+    // and re-pick their sampling mode.
+    notify_sync();
+    notify_reevaluate();
+  }
   refresh_trace();
 }
 
 Logic4 NoisyChannel::sense(int freq) const {
   Logic4 acc = Logic4::kZ;
+  if (run_.active && (!config_.per_frequency || freq == run_.freq)) {
+    acc = run_value_now();
+  }
   for (const Port& p : ports_) {
     if (p.value == Logic4::kZ) continue;
     if (config_.per_frequency && p.freq != freq) continue;
@@ -66,10 +130,145 @@ Logic4 NoisyChannel::sense(int freq) const {
 }
 
 bool NoisyChannel::busy() const {
+  if (run_.active) return true;
+  return defined_ports_ > 0;
+}
+
+bool NoisyChannel::live_at(int freq) const {
+  if (defined_ports_ == 0) return false;
+  if (!config_.per_frequency) return true;
   for (const Port& p : ports_) {
-    if (p.value != Logic4::kZ) return true;
+    if (is_defined(p.value) && p.freq == freq) return true;
   }
   return false;
+}
+
+NoisyChannel::RxMedium NoisyChannel::rx_medium(int freq) const {
+  RxMedium m;
+  m.live = live_at(freq);
+  if (run_.active && (!config_.per_frequency || freq == run_.freq)) {
+    m.run_bits = run_.bits;
+    m.run_start = run_.start;
+    m.run_period = run_.period;
+  }
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Burst runs
+// ---------------------------------------------------------------------------
+
+bool NoisyChannel::begin_burst(PortId port, int freq,
+                               const sim::BitVector& bits,
+                               sim::SimTime period) {
+  if (port < 0 || port >= num_ports()) {
+    throw std::out_of_range("NoisyChannel::begin_burst: bad port");
+  }
+  if (freq < 0 || freq >= config_.num_channels) {
+    throw std::out_of_range("NoisyChannel::begin_burst: bad frequency");
+  }
+  // Equivalence gate: a run is accepted only when the batched loop is
+  // provably identical to per-bit drives -- no noise draws to reorder
+  // (BER 0), aligned drive instants (no RF delay), no per-bit bus trace
+  // to emit, and nobody else on the air.
+  if (!config_.burst_transport || bits.empty() ||
+      config_.ber > 0.0 || config_.rf_delay != sim::SimTime::zero() ||
+      env().tracer() != nullptr || bus_trace_ != nullptr ||
+      run_.active || defined_ports_ > 0) {
+    return false;
+  }
+  notify_sync();
+  run_.active = true;
+  run_.port = port;
+  run_.freq = freq;
+  run_.bits = &bits;
+  run_.start = env().now();
+  run_.period = period;
+  ports_[static_cast<std::size_t>(port)].freq = freq;
+  notify_reevaluate();
+  return true;
+}
+
+std::size_t NoisyChannel::run_bits_elapsed() const {
+  assert(run_.active);
+  const std::uint64_t d = env().now().as_ns() - run_.start.as_ns();
+  const std::uint64_t p = run_.period.as_ns();
+  // Bits with a drive instant strictly before now have fired in any
+  // event order; a bit exactly at now has fired only when the kernel is
+  // not mid-dispatch (its virtual drive event would be ordered after
+  // the currently running event). Bit 0 is driven synchronously by
+  // begin_burst, so at least one bit is always on the air.
+  std::uint64_t n = env().dispatching() ? (d + p - 1) / p : d / p + 1;
+  if (n == 0) n = 1;
+  const std::size_t len = run_.bits->size();
+  return n < len ? static_cast<std::size_t>(n) : len;
+}
+
+Logic4 NoisyChannel::run_value_now() const {
+  return from_bit((*run_.bits)[run_bits_elapsed() - 1]);
+}
+
+std::size_t NoisyChannel::settle_run(std::size_t driven, Logic4 last) {
+  bits_driven_ += driven;
+  bits_burst_ += driven;
+  Port& p = ports_[static_cast<std::size_t>(run_.port)];
+  assert(p.value == Logic4::kZ);
+  p.value = last;
+  p.freq = run_.freq;
+  if (is_defined(last)) ++defined_ports_;
+  run_ = Run{};
+  return driven;
+}
+
+std::size_t NoisyChannel::finish_burst(PortId port) {
+  assert(burst_active(port));
+  (void)port;
+  notify_sync();
+  const std::size_t driven = settle_run(run_.bits->size(), Logic4::kZ);
+  notify_reevaluate();
+  refresh_trace();
+  return driven;
+}
+
+std::size_t NoisyChannel::abort_burst(PortId port) {
+  assert(burst_active(port));
+  (void)port;
+  notify_sync();
+  const std::size_t driven = settle_run(run_bits_elapsed(), Logic4::kZ);
+  notify_reevaluate();
+  refresh_trace();
+  return driven;
+}
+
+void NoisyChannel::fallback_run() {
+  assert(run_.active);
+  ++burst_fallbacks_;
+  Listener* owner = ports_[static_cast<std::size_t>(run_.port)].listener;
+  notify_sync();
+  const std::size_t driven = run_bits_elapsed();
+  const Logic4 last = from_bit((*run_.bits)[driven - 1]);
+  settle_run(driven, last);
+  // The owner reschedules the remaining bits as exact per-bit drives
+  // before receivers re-pick their modes (they will see a live medium).
+  assert(owner != nullptr);
+  owner->tx_burst_fallback(driven);
+  notify_reevaluate();
+  refresh_trace();
+}
+
+void NoisyChannel::notify_sync() {
+  assert(!notifying_ && "reentrant medium notification");
+  notifying_ = true;
+  for (Port& p : ports_) {
+    if (p.listener != nullptr && p.rx_freq >= 0) p.listener->rx_sync();
+  }
+  notifying_ = false;
+}
+
+void NoisyChannel::notify_reevaluate() {
+  for (Port& p : ports_) {
+    if (p.listener != nullptr && p.rx_freq >= 0) p.listener->rx_reevaluate();
+  }
 }
 
 void NoisyChannel::refresh_trace() {

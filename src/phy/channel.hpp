@@ -13,15 +13,32 @@
 // (frequency 0..78): transmissions on different hop frequencies do not
 // collide. Setting ChannelConfig::per_frequency = false restores the
 // paper's stricter single-wire behaviour.
+//
+// Burst transport
+// ---------------
+// The per-bit drive()/sense() contract stays the reference semantics,
+// but an uncontended single-transmitter packet can be registered as one
+// *burst run* (begin_burst): the channel then answers sense() from the
+// packed bit vector and run geometry instead of taking one drive event
+// per microsecond, and notifies registered Listeners (the radios) when
+// the medium changes so idle receivers can stop sampling entirely.
+// A run is only accepted when it is provably equivalent to the per-bit
+// path -- BER 0 (no noise draws to reorder), no RF delay, no VCD bus
+// trace, and a silent medium -- and it falls back to per-bit scheduling
+// the moment a second transmitter drives, the BER changes, or the
+// transmitter aborts. docs/ARCHITECTURE.md ("Word-packed bit transport
+// & burst delivery") carries the full equivalence argument.
 #pragma once
 
+#include <atomic>
+#include <cassert>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "phy/logic4.hpp"
+#include "sim/bitvector.hpp"
 #include "sim/module.hpp"
 #include "sim/signal.hpp"
 #include "sim/time.hpp"
@@ -39,6 +56,11 @@ struct ChannelConfig {
   bool per_frequency = true;
   /// Number of RF channels (79 in the 2.4 GHz ISM band).
   int num_channels = 79;
+  /// Enables the burst fast path (word-packed runs + idle-receiver
+  /// skipping). Defaults to the process-wide switch; per-instance
+  /// override via NoisyChannel::set_burst_transport_enabled(). Purely a
+  /// performance mode: results are bit-identical either way.
+  bool burst_transport = true;
 };
 
 /// Port handle returned by attach(); identifies a device on the channel.
@@ -46,15 +68,59 @@ using PortId = int;
 
 class NoisyChannel final : public sim::Module {
  public:
+  /// Burst-transport callbacks implemented by the Radio that owns a
+  /// port. Every medium transition is delivered in two phases so lazy
+  /// consumers can materialise pending samples against the *old* medium
+  /// state before reacting to the new one: first rx_sync() on every
+  /// listening port, then the state change, then rx_reevaluate().
+  class Listener {
+   public:
+    /// Phase 1: consume every sample instant at or before now() under
+    /// the medium state as it still is.
+    virtual void rx_sync() = 0;
+    /// Phase 2: the medium changed; pick a new sampling mode.
+    virtual void rx_reevaluate() = 0;
+    /// The port's own burst run degraded to per-bit: `driven` bits are
+    /// already on the air (the channel holds the last one); the owner
+    /// must schedule the remainder as per-bit drives.
+    virtual void tx_burst_fallback(std::size_t driven) = 0;
+
+   protected:
+    ~Listener() = default;
+  };
+
   NoisyChannel(sim::Environment& env, std::string name,
                ChannelConfig config = {});
 
   const ChannelConfig& config() const { return config_; }
-  void set_ber(double ber) { config_.ber = ber; }
+
+  /// Changing the BER mid-run degrades an active burst run to per-bit
+  /// first: the remaining bits need per-instant noise draws.
+  void set_ber(double ber);
+
+  // ---- burst transport switches ----
+
+  /// Process-wide default for newly constructed channels (the
+  /// "Environment-style" escape hatch; mirrors
+  /// Environment::set_timer_wheel_enabled). Thread-safe.
+  static void set_burst_transport_default(bool enabled);
+  static bool burst_transport_default();
+
+  /// Per-instance switch. Disabling degrades an active run to per-bit.
+  void set_burst_transport_enabled(bool enabled);
+  bool burst_transport_enabled() const { return config_.burst_transport; }
 
   /// Registers a device; `device_name` is used for tracing/diagnostics.
   PortId attach(const std::string& device_name);
   int num_ports() const { return static_cast<int>(ports_.size()); }
+
+  /// Wires the burst-transport listener of `port` (done by the Radio).
+  void set_listener(PortId port, Listener* listener);
+
+  /// Declares the receiver of `port` tuned to `freq` (-1: not
+  /// listening). Listening ports get the two-phase medium
+  /// notifications.
+  void set_listening(PortId port, int freq);
 
   /// Drives a value from `port` on RF channel `freq`. kZ releases the
   /// medium. Takes effect after the configured rf_delay. Noise is applied
@@ -68,25 +134,118 @@ class NoisyChannel final : public sim::Module {
   /// True if any port is currently driving a defined value (any freq).
   bool busy() const;
 
+  // ---- burst runs (called by the owning Radio) ----
+
+  /// Registers the whole of `bits` as one uncontended run from `port` on
+  /// `freq`, one bit per `period` starting now. Returns false -- and
+  /// changes nothing -- when the run cannot be batched (burst transport
+  /// off, BER > 0, RF delay, VCD bus trace, or a non-silent medium); the
+  /// caller must then drive per-bit. `bits` must stay alive and
+  /// unchanged until the run ends. On success the first bit is on the
+  /// medium immediately (as a per-bit drive would be).
+  bool begin_burst(PortId port, int freq, const sim::BitVector& bits,
+                   sim::SimTime period);
+
+  /// True while `port` owns the active burst run.
+  bool burst_active(PortId port) const {
+    return run_.active && run_.port == port;
+  }
+
+  /// Bits of `port`'s active run already on the air (event-order exact).
+  std::size_t burst_elapsed(PortId port) const {
+    assert(burst_active(port));
+    (void)port;
+    return run_bits_elapsed();
+  }
+
+  /// Completes `port`'s run at its natural end (caller's end-of-packet
+  /// timer): consumes listeners, releases the medium, reports the number
+  /// of bits driven.
+  std::size_t finish_burst(PortId port);
+
+  /// Aborts `port`'s run mid-flight and releases the medium; returns the
+  /// number of bits that made it onto the air.
+  std::size_t abort_burst(PortId port);
+
+  // ---- medium view for receivers ----
+
+  /// What a receiver tuned to `freq` currently faces.
+  struct RxMedium {
+    /// Some port drives a defined value visible at this frequency
+    /// through per-bit drives (collisions and noisy transmissions live
+    /// here) -- the receiver must sample per bit.
+    bool live = false;
+    /// Active burst run visible at this frequency (nullptr when none).
+    const sim::BitVector* run_bits = nullptr;
+    sim::SimTime run_start;
+    sim::SimTime run_period;
+  };
+  RxMedium rx_medium(int freq) const;
+
   // ---- diagnostics ----
   std::uint64_t bits_driven() const { return bits_driven_; }
   std::uint64_t bits_flipped() const { return bits_flipped_; }
   std::uint64_t collision_samples() const { return collision_samples_; }
+  /// Bits transported through accepted burst runs (perf telemetry).
+  std::uint64_t bits_burst() const { return bits_burst_; }
+  /// Runs degraded to per-bit by contention/abort/reconfiguration.
+  std::uint64_t burst_fallbacks() const { return burst_fallbacks_; }
 
  private:
+  struct Run {
+    bool active = false;
+    PortId port = -1;
+    int freq = 0;
+    const sim::BitVector* bits = nullptr;
+    sim::SimTime start;
+    sim::SimTime period;
+  };
+
   void apply(PortId port, int freq, Logic4 value);
   void refresh_trace();
+
+  /// Bits of the active run already on the air, honouring the event
+  /// tiebreak: a bit whose drive instant equals now() counts only when
+  /// the kernel is not mid-dispatch (outside dispatch every same-instant
+  /// event has fired; inside, the virtual drive event is ordered after
+  /// the currently running one).
+  std::size_t run_bits_elapsed() const;
+
+  /// Current run bit visible to a same-instant observer (sense()).
+  Logic4 run_value_now() const;
+
+  /// Degrades the active run to per-bit scheduling (two-phase listener
+  /// notification + tx_burst_fallback on the owner).
+  void fallback_run();
+
+  /// Tears the run down after consuming listeners; `driven` bits are
+  /// accounted and the port is left driving `last` (kZ to release).
+  std::size_t settle_run(std::size_t driven, Logic4 last);
+
+  void notify_sync();
+  void notify_reevaluate();
+
+  /// True when any port drives a defined value visible at `freq` via
+  /// per-bit drives (the run does not count).
+  bool live_at(int freq) const;
 
   ChannelConfig config_;
   struct Port {
     std::string name;
     int freq = -1;
     Logic4 value = Logic4::kZ;
+    Listener* listener = nullptr;
+    int rx_freq = -1;  // -1: not listening
   };
   std::vector<Port> ports_;
+  Run run_;
+  int defined_ports_ = 0;  // ports currently driving a defined value
+  bool notifying_ = false;
   std::uint64_t bits_driven_ = 0;
   std::uint64_t bits_flipped_ = 0;
   mutable std::uint64_t collision_samples_ = 0;
+  std::uint64_t bits_burst_ = 0;
+  std::uint64_t burst_fallbacks_ = 0;
   // Traced view of the fully-resolved wire (all frequencies), matching the
   // "channel" net of the paper's figure.
   std::unique_ptr<sim::Signal<Logic4>> bus_trace_;

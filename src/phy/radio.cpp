@@ -1,16 +1,33 @@
 #include "phy/radio.hpp"
 
+#include <cassert>
 #include <stdexcept>
 #include <utility>
 
+#include "sim/environment.hpp"
+
 namespace btsc::phy {
+
+namespace {
+
+/// "No side effect within any horizon" probe span for silent-medium
+/// receivers: larger than any packet or assembly tail can be.
+constexpr std::size_t kProbeHorizon = std::size_t{1} << 30;
+
+}  // namespace
 
 Radio::Radio(sim::Environment& env, std::string name, NoisyChannel& channel)
     : Module(env, std::move(name)),
       channel_(channel),
       port_(channel.attach(this->name())),
       enable_tx_(env, child_name("enable_tx_RF")),
-      enable_rx_(env, child_name("enable_rx_RF")) {}
+      enable_rx_(env, child_name("enable_rx_RF")) {
+  channel_.set_listener(port_, this);
+}
+
+// ---------------------------------------------------------------------------
+// Transmitter
+// ---------------------------------------------------------------------------
 
 void Radio::transmit(int freq, sim::BitVector bits,
                      sim::UniqueFunction done) {
@@ -25,9 +42,19 @@ void Radio::transmit(int freq, sim::BitVector bits,
   tx_freq_ = freq;
   tx_bits_ = std::move(bits);
   tx_pos_ = 0;
+  tx_start_ = env().now();
   tx_done_ = std::move(done);
   enable_tx_.write(true);
   account_tx(true);
+  if (channel_.begin_burst(port_, freq, tx_bits_, kBitPeriod)) {
+    // The whole packet rides as one channel run: a single end-of-packet
+    // timer replaces the per-bit chain. The channel calls
+    // tx_burst_fallback() if the run degrades mid-flight.
+    tx_burst_ = true;
+    tx_timer_ = env().schedule(kBitPeriod * tx_bits_.size(),
+                               [this] { tx_finish_burst(); });
+    return;
+  }
   tx_next_bit();
 }
 
@@ -41,8 +68,19 @@ void Radio::tx_next_bit() {
   }
   // Past the last bit: release the medium and finish.
   channel_.drive(port_, tx_freq_, Logic4::kZ);
-  tx_busy_ = false;
   tx_timer_ = sim::kInvalidTimer;
+  tx_complete();
+}
+
+void Radio::tx_finish_burst() {
+  bits_sent_ += channel_.finish_burst(port_);
+  tx_burst_ = false;
+  tx_timer_ = sim::kInvalidTimer;
+  tx_complete();
+}
+
+void Radio::tx_complete() {
+  tx_busy_ = false;
   enable_tx_.write(false);
   account_tx(false);
   if (tx_done_) {
@@ -53,20 +91,59 @@ void Radio::tx_next_bit() {
   }
 }
 
+void Radio::tx_burst_fallback(std::size_t driven) {
+  assert(tx_burst_ && driven >= 1);
+  tx_burst_ = false;
+  bits_sent_ += driven;
+  tx_pos_ = driven;
+  env().cancel(tx_timer_);
+  // Resume the exact per-bit chain at the next undriven bit instant
+  // (the channel left bit driven-1 on the air; tx_next_bit at the end
+  // of the chain releases the medium as usual).
+  const sim::SimTime next = tx_start_ + kBitPeriod * driven;
+  const sim::SimTime now = env().now();
+  tx_timer_ = env().schedule(
+      next > now ? next - now : sim::SimTime::zero(),
+      [this] { tx_next_bit(); });
+}
+
 void Radio::abort_tx() {
   if (!tx_busy_) return;
-  env().cancel(tx_timer_);
+  if (tx_burst_) {
+    bits_sent_ += channel_.abort_burst(port_);
+    tx_burst_ = false;
+    env().cancel(tx_timer_);
+  } else {
+    env().cancel(tx_timer_);
+    channel_.drive(port_, tx_freq_, Logic4::kZ);
+  }
   tx_timer_ = sim::kInvalidTimer;
-  channel_.drive(port_, tx_freq_, Logic4::kZ);
   tx_busy_ = false;
   tx_done_ = nullptr;
   enable_tx_.write(false);
   account_tx(false);
 }
 
+std::uint64_t Radio::bits_sent() const {
+  if (tx_burst_) return bits_sent_ + channel_.burst_elapsed(port_);
+  return bits_sent_;
+}
+
+// ---------------------------------------------------------------------------
+// Receiver
+// ---------------------------------------------------------------------------
+
+bool Radio::burst_capable() const {
+  return burst_sink_ != nullptr && channel_.burst_transport_enabled() &&
+         channel_.config().rf_delay == sim::SimTime::zero();
+}
+
 void Radio::enable_rx(int freq) {
+  if (rx_on_) {
+    retune_rx(freq);
+    return;
+  }
   rx_freq_ = freq;
-  if (rx_on_) return;
   rx_on_ = true;
   enable_rx_.write(true);
   account_rx(true);
@@ -78,30 +155,213 @@ void Radio::enable_rx(int freq) {
   const std::uint64_t grid = (now_ns / period) * period;
   std::uint64_t first = grid + period / 4;
   if (first <= now_ns) first += period;
-  rx_timer_ = env().schedule(sim::SimTime::ns(first - now_ns),
-                             [this] { rx_sample(); });
+  rx_anchor_ = sim::SimTime::ns(first);
+  rx_consumed_ = 0;
+  channel_.set_listening(port_, rx_freq_);
+  rx_evaluate();
 }
 
 void Radio::disable_rx() {
   if (!rx_on_) return;
+  rx_catch_up();
   rx_on_ = false;
-  env().cancel(rx_timer_);
-  rx_timer_ = sim::kInvalidTimer;
+  rx_mode_ = RxMode::kOff;
+  cancel_rx_timer();
+  channel_.set_listening(port_, -1);
   enable_rx_.write(false);
   account_rx(false);
 }
 
-void Radio::retune_rx(int freq) { rx_freq_ = freq; }
+void Radio::retune_rx(int freq) {
+  if (!rx_on_) {
+    rx_freq_ = freq;
+    return;
+  }
+  // Materialise everything heard on the old frequency first.
+  rx_catch_up();
+  rx_freq_ = freq;
+  channel_.set_listening(port_, freq);
+  rx_evaluate();
+}
+
+void Radio::cancel_rx_timer() {
+  env().cancel(rx_timer_);
+  rx_timer_ = sim::kInvalidTimer;
+}
+
+std::uint64_t Radio::rx_pending() const {
+  // RX materialisation is always inclusive of now(): sample instants
+  // live on the +250 ns grid, where the per-bit sample event is ordered
+  // before every same-instant observer that can reach this code (see
+  // docs/ARCHITECTURE.md, "Word-packed bit transport & burst delivery").
+  const sim::SimTime now = env().now();
+  if (now < rx_anchor_) return 0;
+  const std::uint64_t target =
+      (now - rx_anchor_).as_ns() / kBitPeriod.as_ns() + 1;
+  return target > rx_consumed_ ? target - rx_consumed_ : 0;
+}
+
+std::int64_t Radio::run_index_at(std::uint64_t k,
+                                 const NoisyChannel::RxMedium& m) const {
+  const sim::SimTime t = sample_time(k);
+  if (t <= m.run_start) return -1;
+  // The bit visible at a sample instant is the last one whose drive
+  // instant precedes it in event order: strictly earlier, or equal when
+  // the drive chain started on the sample grid (the sample event fires
+  // first there) -- hence the -1 ns.
+  return static_cast<std::int64_t>(
+      ((t - m.run_start).as_ns() - 1) / m.run_period.as_ns());
+}
+
+void Radio::rx_consume(std::uint64_t n) {
+  if (n == 0) return;
+  assert(rx_mode_ == RxMode::kSkip || rx_mode_ == RxMode::kRun);
+  if (rx_mode_ == RxMode::kSkip) {
+    burst_sink_->consume_quiet(nullptr, 0, static_cast<std::size_t>(n));
+  } else {
+    const NoisyChannel::RxMedium m = channel_.rx_medium(rx_freq_);
+    assert(m.run_bits != nullptr);
+    const std::int64_t idx = run_index_at(rx_consumed_, m);
+    assert(idx >= 0 &&
+           static_cast<std::size_t>(idx) + n <= m.run_bits->size());
+    burst_sink_->consume_quiet(m.run_bits, static_cast<std::size_t>(idx),
+                               static_cast<std::size_t>(n));
+  }
+  rx_consumed_ += n;
+  bits_sampled_ += n;
+}
+
+void Radio::rx_catch_up() {
+  if (rx_mode_ != RxMode::kSkip && rx_mode_ != RxMode::kRun) return;
+  std::uint64_t n = rx_pending();
+  if (env().pending(rx_timer_) && rx_barrier_index_ >= rx_consumed_) {
+    // A side-effect sample is scheduled: stop short of it. Its event is
+    // still in the queue (it fires after the event running now), and
+    // the effect must execute there, not inside a quiet catch-up.
+    const std::uint64_t quiet = rx_barrier_index_ - rx_consumed_;
+    if (n > quiet) n = quiet;
+  }
+  rx_consume(n);
+}
+
+void Radio::rx_state_changed() {
+  if (!rx_on_) return;
+  rx_catch_up();
+  rx_evaluate();
+}
+
+void Radio::rx_sync() { rx_catch_up(); }
+
+void Radio::rx_reevaluate() {
+  if (rx_on_) rx_evaluate();
+}
+
+void Radio::rx_evaluate() {
+  assert(rx_on_);
+  const RxMode old = rx_mode_;
+  const NoisyChannel::RxMedium m =
+      burst_capable() ? channel_.rx_medium(rx_freq_)
+                      : NoisyChannel::RxMedium{};
+  if (!burst_capable() || (m.run_bits == nullptr && m.live)) {
+    // Classic one-event-per-sample chain: plain sinks always, and burst
+    // sinks whenever per-bit transmissions (noise, collisions,
+    // fallbacks) are on the air.
+    rx_mode_ = RxMode::kPerBit;
+    // A pending timer from an earlier lazy mode points at a barrier,
+    // not at the next sample; replace it.
+    if (old != RxMode::kPerBit) cancel_rx_timer();
+    if (!env().pending(rx_timer_)) {
+      const sim::SimTime next = sample_time(rx_consumed_);
+      assert(next > env().now());
+      rx_timer_ =
+          env().schedule(next - env().now(), [this] { rx_sample(); });
+    }
+    return;
+  }
+  cancel_rx_timer();
+  if (m.run_bits != nullptr) {
+    // Lazy run consumption: find the earliest sample whose processing
+    // has an externally visible effect and wake exactly there. A fully
+    // quiet tail needs no timer at all -- the transmitter's end-of-run
+    // event re-notifies every listener.
+    rx_mode_ = RxMode::kRun;
+    const std::int64_t idx = run_index_at(rx_consumed_, m);
+    const std::size_t len = m.run_bits->size();
+    if (idx >= 0 && static_cast<std::size_t>(idx) < len) {
+      const std::size_t avail = len - static_cast<std::size_t>(idx);
+      const std::size_t q = burst_sink_->quiet_prefix(
+          m.run_bits, static_cast<std::size_t>(idx), avail);
+      if (q < avail) {
+        rx_barrier_index_ = rx_consumed_ + q;
+        rx_timer_ = env().schedule(
+            sample_time(rx_barrier_index_) - env().now(),
+            [this] { rx_barrier(); });
+      }
+    }
+    return;
+  }
+  // Silent medium: sleep until a side effect (a warm correlator window
+  // or an assembly phase still completing on 'Z' bits) or a medium
+  // change, whichever comes first.
+  rx_mode_ = RxMode::kSkip;
+  const std::size_t q =
+      burst_sink_->quiet_prefix(nullptr, 0, kProbeHorizon);
+  if (q < kProbeHorizon) {
+    rx_barrier_index_ = rx_consumed_ + q;
+    rx_timer_ = env().schedule(sample_time(rx_barrier_index_) - env().now(),
+                               [this] { rx_barrier(); });
+  }
+}
 
 void Radio::rx_sample() {
   ++bits_sampled_;
+  ++rx_consumed_;
+  rx_timer_ = sim::kInvalidTimer;
   const Logic4 v = channel_.sense(rx_freq_);
-  if (rx_sink_) rx_sink_(v);
-  // The sink may have disabled the receiver.
-  if (rx_on_) {
-    rx_timer_ = env().schedule(kBitPeriod, [this] { rx_sample(); });
+  if (burst_sink_ != nullptr) {
+    burst_sink_->on_sample(v);
+  } else if (rx_sink_) {
+    rx_sink_(v);
   }
+  // The sink may have disabled the receiver.
+  if (rx_on_) rx_evaluate();
 }
+
+void Radio::rx_barrier() {
+  rx_timer_ = sim::kInvalidTimer;
+  assert(rx_barrier_index_ >= rx_consumed_);
+  assert(rx_pending() > rx_barrier_index_ - rx_consumed_);
+  {
+    // Everything before the probed index is quiet by construction; the
+    // sample at this instant carries the side effect and goes through
+    // the full per-sample path at exactly its own time.
+    rx_consume(rx_barrier_index_ - rx_consumed_);
+    Logic4 v = Logic4::kZ;
+    if (rx_mode_ == RxMode::kRun) {
+      const NoisyChannel::RxMedium m = channel_.rx_medium(rx_freq_);
+      assert(m.run_bits != nullptr);
+      const std::int64_t idx = run_index_at(rx_consumed_, m);
+      assert(idx >= 0 &&
+             static_cast<std::size_t>(idx) < m.run_bits->size());
+      v = from_bit((*m.run_bits)[static_cast<std::size_t>(idx)]);
+    }
+    ++bits_sampled_;
+    ++rx_consumed_;
+    burst_sink_->on_sample(v);
+  }
+  if (rx_on_) rx_evaluate();
+}
+
+std::uint64_t Radio::bits_sampled() const {
+  if (rx_mode_ == RxMode::kSkip || rx_mode_ == RxMode::kRun) {
+    return bits_sampled_ + rx_pending();
+  }
+  return bits_sampled_;
+}
+
+// ---------------------------------------------------------------------------
+// Activity accounting
+// ---------------------------------------------------------------------------
 
 void Radio::account_tx(bool on) {
   if (on) {

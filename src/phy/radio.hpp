@@ -11,10 +11,30 @@
 // at +250 ns past the bit grid -- an offset that stays strictly inside
 // the bit period for transmissions aligned to either the even (integer
 // microsecond) or odd (half-microsecond) half-slot grid.
+//
+// Burst transport
+// ---------------
+// With burst transport enabled (see NoisyChannel), the radio avoids the
+// one-event-per-bit hot path in both directions:
+//
+//  * TX: an uncontended packet registers as one channel burst run plus a
+//    single end-of-packet timer; the per-bit timer chain only runs as
+//    the fallback (contention, noise, RF delay, tracing).
+//  * RX: a receiver that implements BurstRxSink is driven lazily. While
+//    the medium at its frequency is silent it takes NO sampling events:
+//    pending all-'Z' samples are materialised in bulk when something
+//    changes. While a burst run is on the air it consumes the run's
+//    packed bits in bulk. In both cases the radio first *probes* the
+//    sink for the earliest sample whose processing has an externally
+//    visible effect (sync detection, packet delivery, an RNG draw) and
+//    schedules one timer exactly there, so every handler still fires at
+//    precisely the instant the per-bit path would have fired it.
+//
+// A plain per-sample rx sink (set_rx_sink) always gets classic per-bit
+// sampling.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <string>
 
 #include "phy/channel.hpp"
@@ -30,8 +50,40 @@ namespace btsc::phy {
 /// Duration of one transmitted symbol (1 Mbit/s raw rate).
 inline constexpr sim::SimTime kBitPeriod = sim::SimTime::us(1);
 
-class Radio final : public sim::Module {
+/// Batched receiver interface (implemented by baseband::Receiver). The
+/// radio feeds it runs of samples: `bits == nullptr` means a run of 'Z'
+/// (silent medium, demodulator slices the noise floor); otherwise the
+/// samples are the defined bits bits[first..first+count).
+class BurstRxSink {
  public:
+  /// Some n <= count such that processing samples [first, first+n)
+  /// produces NO externally visible effect -- no handler/hook
+  /// invocation and no RNG draw. Returning less than the true quiet
+  /// prefix is allowed (the radio then runs the sample at n through the
+  /// full per-sample path and asks again); returning count promises the
+  /// whole span is quiet. Pure: must not change observable sink state.
+  virtual std::size_t quiet_prefix(const sim::BitVector* bits,
+                                   std::size_t first,
+                                   std::size_t count) const = 0;
+
+  /// Processes `n` samples previously certified quiet by quiet_prefix.
+  virtual void consume_quiet(const sim::BitVector* bits, std::size_t first,
+                             std::size_t n) = 0;
+
+  /// Full per-sample entry; may fire handlers and draw RNG. Must behave
+  /// exactly like the per-bit sink path.
+  virtual void on_sample(Logic4 v) = 0;
+
+ protected:
+  ~BurstRxSink() = default;
+};
+
+class Radio final : public sim::Module, public NoisyChannel::Listener {
+ public:
+  /// Per-sample sink; allocation-free storage (finishes the PR 4
+  /// std::function migration for the per-bit fallback path).
+  using RxSink = sim::UniqueCallback<Logic4>;
+
   Radio(sim::Environment& env, std::string name, NoisyChannel& channel);
 
   // ---- transmitter ----
@@ -51,9 +103,13 @@ class Radio final : public sim::Module {
   // ---- receiver ----
 
   /// Sink invoked once per sampled bit while the receiver is enabled.
-  void set_rx_sink(std::function<void(Logic4)> sink) {
-    rx_sink_ = std::move(sink);
-  }
+  /// A radio with only this sink always samples per bit.
+  void set_rx_sink(RxSink sink) { rx_sink_ = std::move(sink); }
+
+  /// Wires the batched sink (and enables lazy/batched reception for
+  /// this radio when the channel's burst transport is on). nullptr
+  /// reverts to the per-sample sink.
+  void set_burst_rx_sink(BurstRxSink* sink) { burst_sink_ = sink; }
 
   /// Enables the receiver on `freq`. Sampling starts at the next mid-bit
   /// instant. Disabling stops sampling immediately.
@@ -64,6 +120,15 @@ class Radio final : public sim::Module {
 
   /// Retunes while enabled (no-op when disabled).
   void retune_rx(int freq);
+
+  /// Materialises every pending lazy sample at or before now(). Wired
+  /// into Receiver::carrier_samples() so LC carrier-sense reads observe
+  /// exactly the per-bit counter value.
+  void rx_catch_up();
+
+  /// The sink's decode state changed out-of-band (receiver reconfigured
+  /// mid-window): re-derive the side-effect barrier.
+  void rx_state_changed();
 
   // ---- RF enable lines (traced; the paper's waveform signals) ----
   sim::BoolSignal& enable_tx_rf() { return enable_tx_; }
@@ -79,12 +144,42 @@ class Radio final : public sim::Module {
   /// Starts a fresh measurement window at the current time.
   void reset_activity();
 
-  std::uint64_t bits_sent() const { return bits_sent_; }
-  std::uint64_t bits_sampled() const { return bits_sampled_; }
+  std::uint64_t bits_sent() const;
+  std::uint64_t bits_sampled() const;
+
+  // ---- NoisyChannel::Listener ----
+  void rx_sync() override;
+  void rx_reevaluate() override;
+  void tx_burst_fallback(std::size_t driven) override;
 
  private:
+  /// How the receiver is being fed.
+  enum class RxMode : std::uint8_t {
+    kOff,     // receiver disabled
+    kPerBit,  // classic one-event-per-sample chain
+    kSkip,    // silent medium, lazy 'Z' runs (dormant between barriers)
+    kRun,     // consuming a channel burst run lazily
+  };
+
   void tx_next_bit();
+  void tx_finish_burst();
+  void tx_complete();
   void rx_sample();
+  void rx_barrier();
+  void rx_evaluate();
+  void cancel_rx_timer();
+  /// Pending lazy sample count at or before now().
+  std::uint64_t rx_pending() const;
+  /// Feeds `n` lazy samples (mode kSkip/kRun) to the burst sink.
+  void rx_consume(std::uint64_t n);
+  /// Sample instant of lazy sample index `k` (since enable).
+  sim::SimTime sample_time(std::uint64_t k) const {
+    return rx_anchor_ + kBitPeriod * k;
+  }
+  /// Burst-run bit index visible at lazy sample `k` (< 0: before bit 0).
+  std::int64_t run_index_at(std::uint64_t k,
+                            const NoisyChannel::RxMedium& m) const;
+  bool burst_capable() const;
   void account_tx(bool on);
   void account_rx(bool on);
 
@@ -93,17 +188,27 @@ class Radio final : public sim::Module {
 
   // TX state
   bool tx_busy_ = false;
+  bool tx_burst_ = false;
   int tx_freq_ = 0;
   sim::BitVector tx_bits_;
   std::size_t tx_pos_ = 0;
+  sim::SimTime tx_start_ = sim::SimTime::zero();
   sim::UniqueFunction tx_done_;
   sim::TimerId tx_timer_ = sim::kInvalidTimer;
 
   // RX state
   bool rx_on_ = false;
   int rx_freq_ = 0;
-  std::function<void(Logic4)> rx_sink_;
+  RxMode rx_mode_ = RxMode::kOff;
+  RxSink rx_sink_;
+  BurstRxSink* burst_sink_ = nullptr;
   sim::TimerId rx_timer_ = sim::kInvalidTimer;
+  sim::SimTime rx_anchor_ = sim::SimTime::zero();  // sample index 0
+  std::uint64_t rx_consumed_ = 0;  // lazy samples fed since enable
+  /// Absolute index of the scheduled side-effect sample while a lazy
+  /// barrier timer is pending; catch-ups stop short of it so the effect
+  /// always goes through the full path inside its own event.
+  std::uint64_t rx_barrier_index_ = 0;
 
   // Enable lines (traced)
   sim::BoolSignal enable_tx_;

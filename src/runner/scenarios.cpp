@@ -10,6 +10,7 @@
 #include <stdexcept>
 
 #include "baseband/packet.hpp"
+#include "phy/channel.hpp"
 #include "core/experiments.hpp"
 #include "core/report.hpp"
 #include "runner/sweep.hpp"
@@ -574,6 +575,10 @@ std::unique_ptr<core::Reporter> make_reporter(const core::BenchArgs& args,
 
 int run_scenario_main(const std::string& id, int argc, char** argv) {
   const auto args = core::BenchArgs::parse(argc, argv);
+  // Swap-safety escape hatch: force the per-bit reference transport for
+  // every channel this process builds. Results are bit-identical either
+  // way (ci.sh gates on it); only the kernel telemetry changes.
+  phy::NoisyChannel::set_burst_transport_default(!args.no_burst);
   ScenarioRequest req;
   req.threads = args.threads;
   req.replications = args.seeds;

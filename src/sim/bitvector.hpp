@@ -1,11 +1,27 @@
-// BitVector: a sequence of bits in air (transmission) order.
+// BitVector: a sequence of bits in air (transmission) order, packed into
+// 64-bit words.
 //
 // Bluetooth transmits the least significant bit of every field first; all
 // composers/parsers in this repository therefore agree on the convention
 // that bit 0 of a BitVector is the first bit on air and that
-// append_uint()/extract_uint() are LSB-first.
+// append_uint()/extract_uint() are LSB-first. Bit i lives in word i/64 at
+// bit position i%64, so a word read IS an LSB-first 64-bit field extract
+// -- the layout the whitener, CRC, FEC and sync-correlator word paths
+// rely on.
+//
+// Two accessor families:
+//  * checked (at/set/flip, extract_uint, slice): throw on range errors;
+//    parser entry points and tests use these.
+//  * unchecked (operator[], get_unchecked/set_unchecked/flip_unchecked,
+//    word/extract_word, append_range): assert-guarded in debug builds,
+//    free in Release; the PHY/baseband hot paths use these.
+//
+// Invariant: the unused high bits of the last storage word are zero, so
+// whole-word equality/Hamming comparisons need no tail masking.
 #pragma once
 
+#include <bit>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <stdexcept>
@@ -16,88 +32,244 @@ namespace btsc::sim {
 
 class BitVector {
  public:
+  /// Bits per storage word.
+  static constexpr std::size_t kWordBits = 64;
+
   BitVector() = default;
-  explicit BitVector(std::size_t n, bool value = false)
-      : bits_(n, value ? 1 : 0) {}
+  explicit BitVector(std::size_t n, bool value = false) { resize(n, value); }
 
   /// Builds from a string of '0'/'1' characters (index 0 = first on air).
   static BitVector from_string(const std::string& s) {
     BitVector v;
-    v.bits_.reserve(s.size());
+    v.reserve(s.size());
     for (char c : s) {
       if (c != '0' && c != '1') {
         throw std::invalid_argument("BitVector: bad character in bit string");
       }
-      v.bits_.push_back(c == '1');
+      v.push_back(c == '1');
     }
     return v;
   }
 
-  std::size_t size() const { return bits_.size(); }
-  bool empty() const { return bits_.empty(); }
-  void reserve(std::size_t n) { bits_.reserve(n); }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  void reserve(std::size_t n) { words_.reserve(word_count(n)); }
 
-  bool operator[](std::size_t i) const { return bits_[i] != 0; }
-  bool at(std::size_t i) const { return bits_.at(i) != 0; }
-  void set(std::size_t i, bool v) { bits_.at(i) = v ? 1 : 0; }
-  void flip(std::size_t i) { bits_.at(i) ^= 1; }
+  /// Drops all bits but keeps the storage capacity (hot-path reset).
+  void clear() {
+    words_.clear();
+    size_ = 0;
+  }
 
-  void push_back(bool b) { bits_.push_back(b ? 1 : 0); }
+  void resize(std::size_t n, bool value = false) {
+    const std::uint64_t fill = value ? ~0ull : 0ull;
+    words_.resize(word_count(n), fill);
+    if (value && n > size_) {
+      // Bits [size_, old word end) were zero; set them.
+      const std::size_t w = size_ / kWordBits;
+      if (w < words_.size()) {
+        words_[w] |= ~0ull << (size_ % kWordBits);
+      }
+    }
+    size_ = n;
+    mask_tail();
+  }
 
-  /// Appends the low `nbits` of `value`, LSB first (air order).
-  void append_uint(std::uint64_t value, unsigned nbits) {
-    for (unsigned i = 0; i < nbits; ++i) {
-      bits_.push_back((value >> i) & 1u);
+  // ---- unchecked accessors (assert-guarded; the hot path) ----
+
+  bool operator[](std::size_t i) const { return get_unchecked(i); }
+
+  bool get_unchecked(std::size_t i) const {
+    assert(i < size_ && "BitVector: index out of range");
+    return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
+  }
+
+  void set_unchecked(std::size_t i, bool v) {
+    assert(i < size_ && "BitVector: index out of range");
+    const std::uint64_t mask = 1ull << (i % kWordBits);
+    if (v) {
+      words_[i / kWordBits] |= mask;
+    } else {
+      words_[i / kWordBits] &= ~mask;
     }
   }
 
-  void append(const BitVector& other) {
-    bits_.insert(bits_.end(), other.bits_.begin(), other.bits_.end());
+  void flip_unchecked(std::size_t i) {
+    assert(i < size_ && "BitVector: index out of range");
+    words_[i / kWordBits] ^= 1ull << (i % kWordBits);
+  }
+
+  /// i-th storage word; bit b of the result is bit i*64+b of the vector.
+  std::uint64_t word(std::size_t i) const {
+    assert(i < words_.size() && "BitVector: word index out of range");
+    return words_[i];
+  }
+
+  std::size_t num_words() const { return words_.size(); }
+  const std::uint64_t* words() const { return words_.data(); }
+
+  /// Unchecked LSB-first read of `nbits` (<= 64) starting at `pos`;
+  /// requires the range to be in bounds (debug assert).
+  std::uint64_t extract_word(std::size_t pos, unsigned nbits = 64) const {
+    assert(nbits <= 64 && pos + nbits <= size_ &&
+           "BitVector::extract_word out of range");
+    if (nbits == 0) return 0;
+    const std::size_t w = pos / kWordBits;
+    const unsigned off = static_cast<unsigned>(pos % kWordBits);
+    std::uint64_t v = words_[w] >> off;
+    if (off != 0 && w + 1 < words_.size()) {
+      v |= words_[w + 1] << (kWordBits - off);
+    }
+    if (nbits < 64) v &= (1ull << nbits) - 1;
+    return v;
+  }
+
+  // ---- checked accessors (parser entry points) ----
+
+  bool at(std::size_t i) const {
+    check_index(i);
+    return get_unchecked(i);
+  }
+
+  void set(std::size_t i, bool v) {
+    check_index(i);
+    set_unchecked(i, v);
+  }
+
+  void flip(std::size_t i) {
+    check_index(i);
+    flip_unchecked(i);
   }
 
   /// Reads `nbits` starting at `pos`, first bit = LSB. Requires the range
   /// to be in bounds and nbits <= 64.
   std::uint64_t extract_uint(std::size_t pos, unsigned nbits) const {
-    if (nbits > 64 || pos + nbits > bits_.size()) {
+    if (nbits > 64 || pos + nbits > size_ || pos > size_) {
       throw std::out_of_range("BitVector::extract_uint");
     }
-    std::uint64_t v = 0;
-    for (unsigned i = 0; i < nbits; ++i) {
-      v |= static_cast<std::uint64_t>(bits_[pos + i]) << i;
+    return extract_word(pos, nbits);
+  }
+
+  // ---- growth ----
+
+  void push_back(bool b) {
+    const unsigned off = static_cast<unsigned>(size_ % kWordBits);
+    if (off == 0) words_.push_back(0);
+    if (b) words_.back() |= 1ull << off;
+    ++size_;
+  }
+
+  /// Appends the low `nbits` of `value`, LSB first (air order).
+  void append_uint(std::uint64_t value, unsigned nbits) {
+    assert(nbits <= 64);
+    if (nbits == 0) return;
+    if (nbits < 64) value &= (1ull << nbits) - 1;
+    const unsigned off = static_cast<unsigned>(size_ % kWordBits);
+    if (off == 0) {
+      words_.push_back(value);
+    } else {
+      words_.back() |= value << off;
+      if (nbits > kWordBits - off) {
+        words_.push_back(value >> (kWordBits - off));
+      }
     }
-    return v;
+    size_ += nbits;
+  }
+
+  void append(const BitVector& other) { append_range(other, 0, other.size_); }
+
+  /// Appends bits [pos, pos+len) of `src` (unchecked; debug assert).
+  /// `&src == this` is allowed only for non-overlapping semantics via the
+  /// word walk below reading ahead of the write frontier -- callers in
+  /// this repository never self-append, so we simply assert.
+  void append_range(const BitVector& src, std::size_t pos, std::size_t len) {
+    assert(pos + len <= src.size_ && "BitVector::append_range out of range");
+    assert(this != &src && "BitVector::append_range: self-append");
+    std::size_t done = 0;
+    while (done < len) {
+      const unsigned chunk =
+          static_cast<unsigned>(len - done < 64 ? len - done : 64);
+      append_uint(src.extract_word(pos + done, chunk), chunk);
+      done += chunk;
+    }
+  }
+
+  /// Appends `n` zero bits in O(n/64).
+  void append_zeros(std::size_t n) {
+    size_ += n;
+    words_.resize(word_count(size_), 0);
   }
 
   /// Copies `len` bits starting at `pos` into a new vector.
   BitVector slice(std::size_t pos, std::size_t len) const {
-    if (pos + len > bits_.size()) throw std::out_of_range("BitVector::slice");
+    if (pos + len > size_ || pos > size_) {
+      throw std::out_of_range("BitVector::slice");
+    }
     BitVector v;
-    v.bits_.assign(bits_.begin() + static_cast<std::ptrdiff_t>(pos),
-                   bits_.begin() + static_cast<std::ptrdiff_t>(pos + len));
+    v.reserve(len);
+    v.append_range(*this, pos, len);
     return v;
+  }
+
+  /// XORs `stream` (LSB-first, `nbits` <= 64) onto the bits starting at
+  /// `pos` (unchecked; debug assert). The whitener word path.
+  void xor_word(std::size_t pos, std::uint64_t stream, unsigned nbits) {
+    assert(nbits <= 64 && pos + nbits <= size_ &&
+           "BitVector::xor_word out of range");
+    if (nbits == 0) return;
+    if (nbits < 64) stream &= (1ull << nbits) - 1;
+    const std::size_t w = pos / kWordBits;
+    const unsigned off = static_cast<unsigned>(pos % kWordBits);
+    words_[w] ^= stream << off;
+    if (off != 0 && nbits > kWordBits - off) {
+      words_[w + 1] ^= stream >> (kWordBits - off);
+    }
   }
 
   /// Number of positions where the two vectors differ (sizes must match).
   std::size_t hamming_distance(const BitVector& other) const {
-    if (size() != other.size()) {
+    if (size_ != other.size_) {
       throw std::invalid_argument("BitVector::hamming_distance: size");
     }
     std::size_t d = 0;
-    for (std::size_t i = 0; i < size(); ++i) d += bits_[i] != other.bits_[i];
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      d += static_cast<std::size_t>(
+          std::popcount(words_[i] ^ other.words_[i]));
+    }
     return d;
   }
 
   std::string to_string() const {
     std::string s;
-    s.reserve(size());
-    for (auto b : bits_) s.push_back(b ? '1' : '0');
+    s.reserve(size_);
+    for (std::size_t i = 0; i < size_; ++i) {
+      s.push_back(get_unchecked(i) ? '1' : '0');
+    }
     return s;
   }
 
+  /// Whole-word comparison; valid because tail bits are kept zero.
   friend bool operator==(const BitVector&, const BitVector&) = default;
 
  private:
-  std::vector<std::uint8_t> bits_;
+  static std::size_t word_count(std::size_t bits) {
+    return (bits + kWordBits - 1) / kWordBits;
+  }
+
+  void check_index(std::size_t i) const {
+    if (i >= size_) throw std::out_of_range("BitVector: index");
+  }
+
+  /// Clears the unused high bits of the last word (class invariant).
+  void mask_tail() {
+    const unsigned off = static_cast<unsigned>(size_ % kWordBits);
+    if (off != 0 && !words_.empty()) {
+      words_.back() &= (1ull << off) - 1;
+    }
+  }
+
+  std::vector<std::uint64_t> words_;
+  std::size_t size_ = 0;
 };
 
 }  // namespace btsc::sim

@@ -91,11 +91,13 @@ void Environment::run_delta() {
   runnable_.swap(next_runnable_);
   next_runnable_.clear();
   // Evaluate phase.
+  dispatching_ = true;
   for (Process* p : runnable_) {
     p->queued_ = false;
     ++activations_;
     p->run();
   }
+  dispatching_ = false;
   runnable_.clear();
   // Update phase. commit() notifies value-changed events, which enqueue
   // into next_runnable_ for the following delta.
@@ -136,7 +138,9 @@ void Environment::run_until(SimTime until) {
       if (ev != nullptr) {
         trigger(*ev);
       } else {
+        dispatching_ = true;
         fn();
+        dispatching_ = false;
         fn.reset();
       }
     }

@@ -143,6 +143,15 @@ class Environment {
     wheel_.set_wheel_enabled(enabled);
   }
 
+  /// True while the kernel is executing a timed callback or a process
+  /// (i.e. inside event dispatch). Model code uses this to decide
+  /// whether an instant that equals now() has already been claimed by
+  /// the queue: outside dispatch (between run() calls) every entry at
+  /// <= now() has fired; inside dispatch, same-instant entries may still
+  /// be pending. The burst transport's lazy catch-up boundaries depend
+  /// on this distinction.
+  bool dispatching() const { return dispatching_; }
+
   // ---- diagnostics ----
   std::uint64_t delta_count() const { return delta_count_; }
   std::uint64_t process_activations() const { return activations_; }
@@ -197,6 +206,7 @@ class Environment {
   std::vector<std::unique_ptr<Process>> processes_;
   Rng rng_;
   Tracer* tracer_ = nullptr;
+  bool dispatching_ = false;
   std::uint64_t delta_count_ = 0;
   std::uint64_t activations_ = 0;
 };

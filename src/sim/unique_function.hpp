@@ -30,8 +30,13 @@
 
 namespace btsc::sim {
 
-/// Move-only `void()` callable with small-buffer-optimized storage.
-class UniqueFunction {
+/// Move-only `void(Args...)` callable with small-buffer-optimized
+/// storage. `UniqueFunction` (the kernel's timer callback) is the
+/// zero-argument alias; `UniqueCallback<T>` carries by-value arguments
+/// through to the capture (used by the Radio RX sink so the per-bit
+/// fallback path stays allocation-free).
+template <typename... Args>
+class UniqueCallback {
  public:
   /// Captures up to this size (and max_align_t alignment) are stored
   /// inline; larger ones take one heap allocation at construction.
@@ -44,21 +49,21 @@ class UniqueFunction {
       alignof(F) <= alignof(std::max_align_t) &&
       std::is_nothrow_move_constructible_v<F>;
 
-  UniqueFunction() = default;
-  UniqueFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+  UniqueCallback() = default;
+  UniqueCallback(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
 
   template <typename F,
             typename D = std::decay_t<F>,
             typename = std::enable_if_t<
-                !std::is_same_v<D, UniqueFunction> &&
-                std::is_invocable_r_v<void, D&>>>
-  UniqueFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+                !std::is_same_v<D, UniqueCallback> &&
+                std::is_invocable_r_v<void, D&, Args...>>>
+  UniqueCallback(F&& f) {  // NOLINT(google-explicit-constructor)
     construct<D>(std::forward<F>(f));
   }
 
-  UniqueFunction(UniqueFunction&& other) noexcept { steal(other); }
+  UniqueCallback(UniqueCallback&& other) noexcept { steal(other); }
 
-  UniqueFunction& operator=(UniqueFunction&& other) noexcept {
+  UniqueCallback& operator=(UniqueCallback&& other) noexcept {
     if (this != &other) {
       reset();
       steal(other);
@@ -66,15 +71,15 @@ class UniqueFunction {
     return *this;
   }
 
-  UniqueFunction& operator=(std::nullptr_t) {
+  UniqueCallback& operator=(std::nullptr_t) {
     reset();
     return *this;
   }
 
-  UniqueFunction(const UniqueFunction&) = delete;
-  UniqueFunction& operator=(const UniqueFunction&) = delete;
+  UniqueCallback(const UniqueCallback&) = delete;
+  UniqueCallback& operator=(const UniqueCallback&) = delete;
 
-  ~UniqueFunction() { reset(); }
+  ~UniqueCallback() { reset(); }
 
   /// Destroys the captured state (frees the heap block for oversized
   /// captures) and leaves the object empty.
@@ -89,23 +94,23 @@ class UniqueFunction {
   /// the timer slab node instead of moving a temporary through.
   template <typename F, typename D = std::decay_t<F>>
   void emplace(F&& f) {
-    if constexpr (std::is_same_v<D, UniqueFunction>) {
+    if constexpr (std::is_same_v<D, UniqueCallback>) {
       *this = std::forward<F>(f);
     } else {
-      static_assert(std::is_invocable_r_v<void, D&>);
+      static_assert(std::is_invocable_r_v<void, D&, Args...>);
       reset();
       construct<D>(std::forward<F>(f));
     }
   }
 
   explicit operator bool() const { return invoke_ != nullptr; }
-  friend bool operator==(const UniqueFunction& f, std::nullptr_t) {
+  friend bool operator==(const UniqueCallback& f, std::nullptr_t) {
     return !f;
   }
 
-  void operator()() {
-    assert(invoke_ != nullptr && "invoking an empty UniqueFunction");
-    invoke_(storage_);
+  void operator()(Args... args) {
+    assert(invoke_ != nullptr && "invoking an empty UniqueCallback");
+    invoke_(storage_, args...);
   }
 
  private:
@@ -114,7 +119,7 @@ class UniqueFunction {
     alignas(std::max_align_t) unsigned char buf[kInlineCapacity];
   };
 
-  using Invoke = void (*)(Storage&);
+  using Invoke = void (*)(Storage&, Args...);
   /// src != nullptr: move-construct src's payload into dst and destroy
   /// src's. src == nullptr: destroy dst's payload.
   using Manage = void (*)(Storage& dst, Storage* src);
@@ -123,8 +128,8 @@ class UniqueFunction {
   void construct(F&& f) {
     if constexpr (stores_inline_v<D>) {
       ::new (static_cast<void*>(storage_.buf)) D(std::forward<F>(f));
-      invoke_ = [](Storage& s) {
-        (*std::launder(reinterpret_cast<D*>(s.buf)))();
+      invoke_ = [](Storage& s, Args... args) {
+        (*std::launder(reinterpret_cast<D*>(s.buf)))(args...);
       };
       if constexpr (std::is_trivially_copyable_v<D> &&
                     std::is_trivially_destructible_v<D>) {
@@ -144,7 +149,9 @@ class UniqueFunction {
       }
     } else {
       storage_.heap = new D(std::forward<F>(f));
-      invoke_ = [](Storage& s) { (*static_cast<D*>(s.heap))(); };
+      invoke_ = [](Storage& s, Args... args) {
+        (*static_cast<D*>(s.heap))(args...);
+      };
       manage_ = [](Storage& dst, Storage* src) {
         if (src != nullptr) {
           dst.heap = src->heap;  // pointer steal: no allocation on move
@@ -156,7 +163,7 @@ class UniqueFunction {
   }
 
   /// Takes other's payload; assumes *this is empty. Leaves other empty.
-  void steal(UniqueFunction& other) noexcept {
+  void steal(UniqueCallback& other) noexcept {
     if (other.manage_ != nullptr) {
       other.manage_(storage_, &other.storage_);
     } else if (other.invoke_ != nullptr) {
@@ -173,5 +180,8 @@ class UniqueFunction {
   Invoke invoke_ = nullptr;
   Manage manage_ = nullptr;
 };
+
+/// The kernel's zero-argument timer/process callback.
+using UniqueFunction = UniqueCallback<>;
 
 }  // namespace btsc::sim

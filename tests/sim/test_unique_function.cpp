@@ -24,6 +24,12 @@ std::atomic<std::uint64_t> g_frees{0};
 
 }  // namespace
 
+// GCC's -Wmismatched-new-delete heuristic flags the malloc/free pair it
+// can see through this replaced allocator; the pairing is the standard
+// counting-hook idiom and is correct (new -> malloc, delete -> free).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
 void* operator new(std::size_t size) {
   g_allocs.fetch_add(1, std::memory_order_relaxed);
   if (void* p = std::malloc(size)) return p;
@@ -36,6 +42,8 @@ void operator delete(void* p) noexcept {
 }
 
 void operator delete(void* p, std::size_t) noexcept { operator delete(p); }
+
+#pragma GCC diagnostic pop
 
 namespace btsc::sim {
 namespace {
