@@ -21,6 +21,7 @@
 #include "baseband/bt_clock.hpp"
 #include "baseband/packet.hpp"
 #include "baseband/receiver.hpp"
+#include "core/experiments.hpp"
 #include "core/system.hpp"
 #include "phy/channel.hpp"
 #include "sim/clock.hpp"
@@ -254,6 +255,43 @@ void BM_SchedulerChurnGridAligned(benchmark::State& state) {
   state.counters["wheel_hit_ratio"] = wheel_hit_ratio;
 }
 BENCHMARK(BM_SchedulerChurnGridAligned)->Unit(benchmark::kMillisecond);
+
+/// Checkpoint primitives on the image the Fig. 8 fork caches: the
+/// four-device creation system at its settled t = 0 boundary. Reports
+/// the serialisation rate and the image size -- the per-replication
+/// cost --checkpoint-warmup pays instead of re-running the warm-up.
+void BM_SnapshotSave(benchmark::State& state) {
+  const auto sys = core::make_creation_system(
+      /*ber=*/0.01, /*timeout_slots=*/2048, /*seed=*/7);
+  std::vector<std::uint8_t> bytes;
+  for (auto _ : state) {
+    bytes = sys->save_snapshot();
+    benchmark::DoNotOptimize(bytes.data());
+  }
+  state.counters["snapshot_bytes"] = static_cast<double>(bytes.size());
+  state.counters["snapshots_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SnapshotSave)->Unit(benchmark::kMicrosecond);
+
+/// restore_snapshot() into an already-constructed scaffold -- the
+/// steady-state fork cost once the per-point image exists (the scaffold
+/// construction itself is measured by the sweep wall-clock comparison).
+void BM_SnapshotRestore(benchmark::State& state) {
+  const auto warm = core::make_creation_system(
+      /*ber=*/0.01, /*timeout_slots=*/2048, /*seed=*/7);
+  const std::vector<std::uint8_t> bytes = warm->save_snapshot();
+  const auto scaffold = core::make_creation_system(
+      /*ber=*/0.01, /*timeout_slots=*/2048, /*seed=*/7);
+  for (auto _ : state) {
+    scaffold->restore_snapshot(bytes);
+    benchmark::DoNotOptimize(scaffold.get());
+  }
+  state.counters["snapshot_bytes"] = static_cast<double>(bytes.size());
+  state.counters["restores_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SnapshotRestore)->Unit(benchmark::kMicrosecond);
 
 /// Signal-driven process chain (delta-cycle throughput).
 void BM_ClockedProcess(benchmark::State& state) {

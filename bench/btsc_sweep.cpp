@@ -34,7 +34,11 @@ void print_usage() {
       "  --csv | --json       output format (default: text table)\n"
       "  --out FILE           write to FILE (.json/.csv picks the format)\n"
       "  --no-burst           per-bit PHY reference transport (bit-identical\n"
-      "                       results; swap-safety escape hatch)\n");
+      "                       results; swap-safety escape hatch)\n"
+      "  --checkpoint-warmup  fork each replication from a per-point warm-up\n"
+      "                       snapshot (bitwise equal to --cold-warmup)\n"
+      "  --cold-warmup        staged replications, warm-up re-run every time\n"
+      "                       (reference semantics of --checkpoint-warmup)\n");
 }
 
 void print_list() {

@@ -10,9 +10,12 @@
 # regress silently — plus a metadata audit of the committed benchmark
 # baseline (Release tree + burst-transport stamp), a fig08/fig10 sweep
 # byte-compare across 1/2/8 threads (the timing-wheel swap-safety gate),
-# and a fig08/fig10 byte-compare between the burst and per-bit PHY
+# a fig08/fig10 byte-compare between the burst and per-bit PHY
 # transports (the burst swap-safety gate; kernel_* telemetry excluded —
-# fewer timer events is the optimisation being gated).
+# fewer timer events is the optimisation being gated), and a
+# forked-vs-cold byte-compare over every Monte-Carlo study (the
+# checkpoint-fork swap-safety gate: --checkpoint-warmup must be a pure
+# wall-clock optimisation).
 #
 #   scripts/ci.sh
 set -euo pipefail
@@ -73,11 +76,12 @@ cmake -B build-asan -S . -DBTSC_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DBTSC_BUILD_BENCHES=OFF -DBTSC_BUILD_EXAMPLES=OFF
 cmake --build build-asan -j "$jobs" --target \
       sim_test_scheduler sim_test_timer_wheel sim_test_unique_function \
-      sim_test_tracer \
+      sim_test_tracer sim_test_snapshot \
       baseband_test_framing_word phy_test_burst_transport \
       integration_test_burst_equivalence \
       integration_test_link integration_test_multislave integration_test_noise_stress \
-      runner_test_sweep runner_test_determinism
+      runner_test_sweep runner_test_determinism \
+      core_test_checkpoint runner_test_checkpoint_sweep
 # sim_test_scheduler/sim_test_timer_wheel/sim_test_tracer exercise the
 # timing-wheel timed queue's dispatch and cancellation paths (bucket
 # unlink, wheel/heap boundary, schedule/cancel churn, slot reuse, mid-
@@ -93,12 +97,19 @@ cmake --build build-asan -j "$jobs" --target \
 # and the burst transport (lazy receiver catch-up, run fallback, the
 # burst-vs-per-bit VCD byte-compare and the zero-allocation round trip)
 # with the debug asserts armed under the sanitizers.
+# sim_test_snapshot / core_test_checkpoint / runner_test_checkpoint_sweep
+# cover the checkpoint subsystem: the tagged-stream codecs and their
+# malformed-input rejection paths, whole-system save/restore round trips
+# (including a mid-flight half-slot snapshot), and the forked-vs-cold
+# sweep equivalence -- serialisation code is exactly where stale
+# pointers and uninitialised reads hide, so it runs sanitized.
 for t in sim_test_scheduler sim_test_timer_wheel sim_test_unique_function \
-         sim_test_tracer \
+         sim_test_tracer sim_test_snapshot \
          baseband_test_framing_word phy_test_burst_transport \
          integration_test_burst_equivalence \
          integration_test_link integration_test_multislave integration_test_noise_stress \
-         runner_test_sweep runner_test_determinism; do
+         runner_test_sweep runner_test_determinism \
+         core_test_checkpoint runner_test_checkpoint_sweep; do
   "./build-asan/tests/$t"
 done
 
@@ -162,6 +173,38 @@ for fig in 6 7 8 10 11 12; do
     fi
   done
   echo "fig$fig sweep results identical with burst transport on/off ($threads_list thread(s))"
+done
+
+echo "=== checkpoint-fork gate: forked vs cold staged sweeps, all studies ==="
+# --checkpoint-warmup must be a pure wall-clock optimisation: forking
+# every replication from its point's in-memory warm-up snapshot must
+# produce byte-identical JSON to --cold-warmup, the staged reference
+# that re-runs the warm-up for every replication. Only the kernel_*
+# telemetry may differ (the fork schedules fewer timers — that is the
+# optimisation being gated), so it is stripped exactly as in the burst
+# gate; see docs/ARCHITECTURE.md, "Checkpoint/fork & re-armable timers".
+# Every Monte-Carlo study is compared (figures and the extension
+# studies); fig08/fig10 additionally cross thread counts — the fork
+# shares one snapshot image across worker threads, which is precisely
+# where a mutable-cache bug would show up.
+for id in fig06 fig07 fig08 fig10 fig11 fig12 throughput coexistence backoff; do
+  cold="$gate_dir/${id}_cold.json"
+  ./build/bench/btsc-sweep --scenario "$id" --quick --seeds 4 --max-points 4 \
+      --threads 1 --cold-warmup --out "$cold" >/dev/null
+  threads_list="1"
+  if [[ "$id" == "fig08" || "$id" == "fig10" ]]; then threads_list="1 2 8"; fi
+  for threads in $threads_list; do
+    out="$gate_dir/${id}_fork_${threads}t.json"
+    ./build/bench/btsc-sweep --scenario "$id" --quick --seeds 4 --max-points 4 \
+        --threads "$threads" --checkpoint-warmup --out "$out" >/dev/null
+    if ! cmp -s <(strip_kernel_meta "$cold") <(strip_kernel_meta "$out"); then
+      echo "error: $id forked sweep differs from the cold staged sweep at" >&2
+      echo "       $threads thread(s) (checkpoint/fork equivalence broken; see" >&2
+      echo "       docs/ARCHITECTURE.md, 'Checkpoint/fork & re-armable timers')" >&2
+      exit 1
+    fi
+  done
+  echo "$id forked == cold staged ($threads_list thread(s))"
 done
 
 echo "=== CI OK ==="

@@ -71,6 +71,16 @@ class Correlator {
 
   void reset();
 
+  // ---- checkpointing (raw register access; see sim/snapshot.hpp) ----
+  std::uint64_t expected_word() const { return expected_; }
+  std::uint64_t window_word() const { return window_; }
+  void restore_registers(std::uint64_t expected, std::uint64_t window,
+                         std::uint64_t bits_seen) {
+    expected_ = expected;
+    window_ = window;
+    bits_seen_ = bits_seen;
+  }
+
  private:
   bool matches(std::uint64_t w) const {
     return 64 - std::popcount(w ^ expected_) >= kSyncCorrelationThreshold;

@@ -8,7 +8,14 @@ NativeClock::NativeClock(sim::Environment& env, std::string name,
     : Module(env, std::move(name)),
       clkn_(initial & kClockMask),
       tick_(env, child_name("tick")) {
-  env.schedule(first_tick_delay, [this] { tick(); });
+  env.register_rearm(this->name(), this, this);
+  schedule_tick(first_tick_delay);
+}
+
+NativeClock::~NativeClock() { env().unregister_rearm(this); }
+
+void NativeClock::schedule_tick(sim::SimTime delay) {
+  env().schedule_tagged(delay, kTick, 0, [this] { tick(); }, this);
 }
 
 void NativeClock::tick() {
@@ -16,7 +23,38 @@ void NativeClock::tick() {
   last_tick_ = env().now();
   ++tick_count_;
   tick_.notify_delta();
-  env().schedule(kTickPeriod, [this] { tick(); });
+  schedule_tick(kTickPeriod);
+}
+
+void NativeClock::reset_phase(std::uint32_t initial,
+                              sim::SimTime first_tick_delay) {
+  env().cancel_owned(this);
+  clkn_ = initial & kClockMask;
+  last_tick_ = sim::SimTime::zero();
+  tick_count_ = 0;
+  schedule_tick(first_tick_delay);
+}
+
+void NativeClock::save_state(sim::SnapshotWriter& w) const {
+  w.begin_section(sim::snapshot_tag("CLKN"));
+  w.u32(clkn_);
+  w.time(last_tick_);
+  w.u64(tick_count_);
+  w.end_section();
+}
+
+void NativeClock::restore_state(sim::SnapshotReader& r) {
+  r.enter_section(sim::snapshot_tag("CLKN"));
+  clkn_ = r.u32();
+  last_tick_ = r.time();
+  tick_count_ = r.u64();
+  r.leave_section();
+}
+
+void NativeClock::rearm_timer(std::uint16_t kind, std::uint64_t /*payload*/,
+                              sim::SimTime when) {
+  if (kind != kTick) throw sim::SnapshotError("NativeClock: unknown timer");
+  schedule_tick(when - env().now());
 }
 
 }  // namespace btsc::baseband

@@ -13,6 +13,7 @@
 
 #include "sim/event.hpp"
 #include "sim/module.hpp"
+#include "sim/snapshot.hpp"
 #include "sim/time.hpp"
 
 namespace btsc::baseband {
@@ -23,7 +24,9 @@ inline constexpr sim::SimTime kTickPeriod = sim::SimTime::ns(312'500);
 /// One time slot: 625 us.
 inline constexpr sim::SimTime kSlotDuration = sim::SimTime::us(625);
 
-class NativeClock final : public sim::Module {
+class NativeClock final : public sim::Module,
+                          public sim::Snapshotable,
+                          public sim::RearmHandler {
  public:
   /// The counter starts at `initial`; the first increment fires after
   /// `first_tick_delay` (use a random phase to model unsynchronised
@@ -31,6 +34,7 @@ class NativeClock final : public sim::Module {
   NativeClock(sim::Environment& env, std::string name,
               std::uint32_t initial = 0,
               sim::SimTime first_tick_delay = kTickPeriod);
+  ~NativeClock() override;
 
   /// Current native clock value (updated just before tick_event fires).
   std::uint32_t clkn() const { return clkn_; }
@@ -46,7 +50,25 @@ class NativeClock final : public sim::Module {
 
   std::uint64_t ticks() const { return tick_count_; }
 
+  /// Re-randomisation hook for forked replications: drops the pending
+  /// tick, restarts the counter at `initial` and the phase at
+  /// `first_tick_delay` from the current time -- the same state a fresh
+  /// construction with these arguments would have.
+  void reset_phase(std::uint32_t initial, sim::SimTime first_tick_delay);
+
+  // Snapshotable
+  void save_state(sim::SnapshotWriter& w) const override;
+  void restore_state(sim::SnapshotReader& r) override;
+
+  // RearmHandler
+  void rearm_timer(std::uint16_t kind, std::uint64_t payload,
+                   sim::SimTime when) override;
+
  private:
+  /// Timer descriptor kinds (see schedule_tagged).
+  enum Kind : std::uint16_t { kTick = 1 };
+
+  void schedule_tick(sim::SimTime delay);
   void tick();
 
   std::uint32_t clkn_;

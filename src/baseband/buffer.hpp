@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "baseband/packet.hpp"
+#include "sim/snapshot.hpp"
 
 namespace btsc::baseband {
 
@@ -62,6 +63,35 @@ class PacketBuffer {
   void clear() {
     control_.clear();
     data_.clear();
+  }
+
+  // ---- checkpointing ----
+  void save_state(sim::SnapshotWriter& w) const {
+    w.u64(capacity_);
+    auto lane = [&w](const std::deque<OutboundMessage>& q) {
+      sim::save_seq(w, q.size(), [&](std::size_t i) {
+        w.u8(q[i].llid);
+        w.byte_vec(q[i].data);
+      });
+    };
+    lane(control_);
+    lane(data_);
+    w.u64(dropped_);
+  }
+  void restore_state(sim::SnapshotReader& r) {
+    capacity_ = static_cast<std::size_t>(r.u64());
+    auto lane = [&r](std::deque<OutboundMessage>& q) {
+      q.clear();
+      sim::restore_seq(r, [&](std::size_t) {
+        OutboundMessage m;
+        m.llid = r.u8();
+        m.data = r.byte_vec();
+        q.push_back(std::move(m));
+      });
+    };
+    lane(control_);
+    lane(data_);
+    dropped_ = static_cast<std::size_t>(r.u64());
   }
 
  private:

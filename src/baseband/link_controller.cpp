@@ -108,13 +108,16 @@ LinkController::LinkController(sim::Environment& env, std::string name,
       if (h.lt_addr != own_lt_addr_ && h.lt_addr != 0) {
         // Addressed to another slave: stop listening after the header,
         // exactly the RX gating visible in the paper's Fig. 5.
-        defer(SimTime::zero(), [this] { close_rx_if_idle(); });
+        defer(SimTime::zero(), kCloseRxIfIdle);
         return false;
       }
     }
     return true;
   });
+  env.register_rearm(this->name(), this, this);
 }
+
+LinkController::~LinkController() { env().unregister_rearm(this); }
 
 // ---------------------------------------------------------------------------
 // Commands
@@ -189,8 +192,112 @@ void LinkController::cancel_timers() {
   radio_.disable_rx();
 }
 
-sim::TimerId LinkController::defer(SimTime delay, sim::UniqueFunction fn) {
-  return env().schedule(delay, std::move(fn), /*owner=*/this);
+sim::TimerId LinkController::defer(SimTime delay, Kind kind,
+                                   std::uint64_t payload) {
+  return env().schedule_tagged(delay, kind, payload,
+                               make_action(kind, payload), /*owner=*/this);
+}
+
+sim::UniqueFunction LinkController::make_action(Kind kind,
+                                                std::uint64_t payload) {
+  switch (kind) {
+    case kCloseRxIfIdle:
+      return [this] { close_rx_if_idle(); };
+    case kSenseWindowClose:
+      return [this, payload] {
+        if (receiver_.carrier_samples() == payload &&
+            !receiver_.assembling()) {
+          close_rx_if_idle();
+        }
+        // Carrier present: the packet handler (or the next window)
+        // closes RX.
+      };
+    case kBackoffEnd:
+      return [this] {
+        in_backoff_ = false;  // next tick resumes the scan
+      };
+    case kSendInquiryFhs:
+      return [this, payload] {
+        send_inquiry_fhs(env().now(), static_cast<int>(payload));
+      };
+    case kInquiryFhsDone:
+      return [this] {
+        if (state_ == LcState::kInquiryResponse) {
+          enter_state(LcState::kInquiryScan);
+          scan_freq_ = -1;
+        }
+      };
+    case kMasterFhsWindow:
+      return [this] {
+        if (state_ != LcState::kMasterResponse) return;
+        arm_receiver(page_target_.lap(), page_target_.uap(), std::nullopt,
+                     Receiver::Expect::kIdOnly);
+        open_rx_window(respmap(page_hit_freq_, 2), kIdAirTime + kWindowSlack);
+      };
+    case kSlaveIdReply:
+      return [this] {
+        transmit_id(addr_.lap(), respmap(page_hit_freq_, 0));
+        defer(kIdAirTime, kSlaveFhsListen);
+      };
+    case kSlaveFhsListen:
+      return [this] {
+        if (state_ != LcState::kSlaveResponse) return;
+        // Listen continuously for the FHS; the master may retry several
+        // times on the same response frequency.
+        arm_receiver(addr_.lap(), addr_.uap(), std::nullopt,
+                     Receiver::Expect::kFull);
+        radio_.enable_rx(respmap(page_hit_freq_, 1));
+      };
+    case kSlaveDialogueTimeout:
+      return [this] {
+        if (state_ == LcState::kSlaveResponse) {
+          radio_.disable_rx();
+          enable_page_scan();
+        }
+      };
+    case kSlaveAckId:
+      return [this] {
+        transmit_id(addr_.lap(), respmap(page_hit_freq_, 2));
+        defer(kIdAirTime, kSlaveEnterConnection);
+      };
+    case kSlaveEnterConnection:
+      return [this] {
+        enter_state(LcState::kConnectionSlave);
+        my_mode_ = LinkMode::kActive;
+        arm_receiver(master_addr_.lap(), master_addr_.uap(), std::nullopt,
+                     Receiver::Expect::kFull);
+        // First listening slot: the next master even slot after the ack.
+        const std::uint64_t steps = (env().now() - grid_anchor_) / kHalfSlot;
+        const std::uint64_t next_even = (steps / 4 + 1) * 4;
+        schedule_slave_slot(grid_anchor_ + kHalfSlot * next_even);
+      };
+    case kMasterRxWindow:
+      return [this, payload] {
+        const auto clk_resp = static_cast<std::uint32_t>(payload);
+        if (state_ != LcState::kConnectionMaster) return;
+        arm_receiver(addr_.lap(), addr_.uap(), connection_whiten(clk_resp),
+                     Receiver::Expect::kFull);
+        open_rx_window(connection_freq(clk_resp),
+                       config_.carrier_sense_window);
+      };
+    case kSlaveSlot:
+      return [this] { slave_slot_action(); };
+    case kSlaveRespond:
+      return [this, payload] {
+        slave_respond(static_cast<std::uint32_t>(payload));
+      };
+  }
+  throw sim::SnapshotError("link controller: unknown timer kind " +
+                           std::to_string(kind));
+}
+
+void LinkController::rearm_timer(std::uint16_t kind, std::uint64_t payload,
+                                 SimTime when) {
+  if (kind < kCloseRxIfIdle || kind > kSlaveRespond) {
+    throw sim::SnapshotError("link controller: bad timer kind " +
+                             std::to_string(kind));
+  }
+  defer(when - env().now(), static_cast<Kind>(kind), payload);
 }
 
 int LinkController::respmap(int freq, int n) {
@@ -209,14 +316,7 @@ void LinkController::open_rx_window(int freq, SimTime sense_window) {
   } else {
     radio_.enable_rx(freq);
   }
-  const std::uint64_t carrier_before = receiver_.carrier_samples();
-  defer(sense_window, [this, carrier_before] {
-    if (receiver_.carrier_samples() == carrier_before &&
-        !receiver_.assembling()) {
-      close_rx_if_idle();
-    }
-    // Carrier present: the packet handler (or the next window) closes RX.
-  });
+  defer(sense_window, kSenseWindowClose, receiver_.carrier_samples());
 }
 
 void LinkController::close_rx_if_idle() {
@@ -347,7 +447,7 @@ void LinkController::inquiry_tick() {
 
 void LinkController::inquiry_on_result(const Receiver::Result& r) {
   if (!r.header_ok || r.header.type != PacketType::kFhs || !r.payload_ok) {
-    defer(SimTime::zero(), [this] { close_rx_if_idle(); });
+    defer(SimTime::zero(), kCloseRxIfIdle);
     return;
   }
   ++stats_.fhs_rx;
@@ -355,7 +455,7 @@ void LinkController::inquiry_on_result(const Receiver::Result& r) {
   // Deduplicate: the same device may answer several times.
   for (const DiscoveredDevice& d : discovered_) {
     if (d.addr == fhs.addr) {
-      defer(SimTime::zero(), [this] { close_rx_if_idle(); });
+      defer(SimTime::zero(), kCloseRxIfIdle);
       return;
     }
   }
@@ -371,7 +471,7 @@ void LinkController::inquiry_on_result(const Receiver::Result& r) {
     enter_state(LcState::kStandby);
     if (callbacks_.inquiry_complete) callbacks_.inquiry_complete(true);
   } else {
-    defer(SimTime::zero(), [this] { close_rx_if_idle(); });
+    defer(SimTime::zero(), kCloseRxIfIdle);
   }
 }
 
@@ -437,9 +537,7 @@ void LinkController::inquiry_scan_on_result(const Receiver::Result& r) {
     enter_state(LcState::kInquiryResponse);
     const std::uint64_t slots =
         env().rng().uniform(0, config_.inquiry_backoff_max_slots);
-    defer(kSlotDuration * slots, [this] {
-      in_backoff_ = false;  // next tick resumes the scan
-    });
+    defer(kSlotDuration * slots, kBackoffEnd);
     return;
   }
   // Second ID after backoff: answer with our FHS 625 us after its start.
@@ -449,7 +547,7 @@ void LinkController::inquiry_scan_on_result(const Receiver::Result& r) {
   const SimTime fhs_at = r.packet_start + kSlotDuration;
   const SimTime delay =
       fhs_at > env().now() ? fhs_at - env().now() : SimTime::zero();
-  defer(delay, [this, f_hit] { send_inquiry_fhs(env().now(), f_hit); });
+  defer(delay, kSendInquiryFhs, static_cast<std::uint64_t>(f_hit));
 }
 
 void LinkController::send_inquiry_fhs(SimTime /*now*/, int hit_freq) {
@@ -464,12 +562,7 @@ void LinkController::send_inquiry_fhs(SimTime /*now*/, int hit_freq) {
   transmit_packet(h, fhs.to_bytes(), kGiacLap, kDefaultCheckInit,
                   std::nullopt, respmap(hit_freq, 0));
   // Return to scanning once the FHS is out (366 us).
-  defer(air_time(PacketType::kFhs, 0), [this] {
-    if (state_ == LcState::kInquiryResponse) {
-      enter_state(LcState::kInquiryScan);
-      scan_freq_ = -1;
-    }
-  });
+  defer(air_time(PacketType::kFhs, 0), kInquiryFhsDone);
 }
 
 // ---------------------------------------------------------------------------
@@ -590,12 +683,7 @@ void LinkController::master_send_page_fhs() {
                   std::nullopt, respmap(page_hit_freq_, 1));
   // The slave's ID acknowledgement arrives 625 us after the FHS start;
   // open the window a few microseconds early to absorb timing fuzz.
-  defer(kSlotDuration - SimTime::us(5), [this] {
-    if (state_ != LcState::kMasterResponse) return;
-    arm_receiver(page_target_.lap(), page_target_.uap(), std::nullopt,
-                 Receiver::Expect::kIdOnly);
-    open_rx_window(respmap(page_hit_freq_, 2), kIdAirTime + kWindowSlack);
-  });
+  defer(kSlotDuration - SimTime::us(5), kMasterFhsWindow);
 }
 
 // ---------------------------------------------------------------------------
@@ -630,25 +718,10 @@ void LinkController::page_scan_on_result(const Receiver::Result& r) {
     const SimTime reply_at = r.packet_start + kSlotDuration;
     const SimTime delay =
         reply_at > env().now() ? reply_at - env().now() : SimTime::zero();
-    defer(delay, [this] {
-      transmit_id(addr_.lap(), respmap(page_hit_freq_, 0));
-      defer(kIdAirTime, [this] {
-        if (state_ != LcState::kSlaveResponse) return;
-        // Listen continuously for the FHS; the master may retry several
-        // times on the same response frequency.
-        arm_receiver(addr_.lap(), addr_.uap(), std::nullopt,
-                     Receiver::Expect::kFull);
-        radio_.enable_rx(respmap(page_hit_freq_, 1));
-      });
-    });
+    defer(delay, kSlaveIdReply);
     // Abort the dialogue if the master goes silent.
-    defer(
-        kSlotDuration * (4u * (config_.max_response_retries + 2u)), [this] {
-          if (state_ == LcState::kSlaveResponse) {
-            radio_.disable_rx();
-            enable_page_scan();
-          }
-        });
+    defer(kSlotDuration * (4u * (config_.max_response_retries + 2u)),
+          kSlaveDialogueTimeout);
     return;
   }
   // kSlaveResponse: expecting the master's FHS.
@@ -672,19 +745,7 @@ void LinkController::slave_ack_page_fhs(const Receiver::Result& r) {
   const SimTime ack_at = r.packet_start + kSlotDuration;
   const SimTime delay =
       ack_at > env().now() ? ack_at - env().now() : SimTime::zero();
-  defer(delay, [this] {
-    transmit_id(addr_.lap(), respmap(page_hit_freq_, 2));
-    defer(kIdAirTime, [this] {
-      enter_state(LcState::kConnectionSlave);
-      my_mode_ = LinkMode::kActive;
-      arm_receiver(master_addr_.lap(), master_addr_.uap(), std::nullopt,
-                   Receiver::Expect::kFull);
-      // First listening slot: the next master even slot after the ack.
-      const std::uint64_t steps = (env().now() - grid_anchor_) / kHalfSlot;
-      const std::uint64_t next_even = (steps / 4 + 1) * 4;
-      schedule_slave_slot(grid_anchor_ + kHalfSlot * next_even);
-    });
-  });
+  defer(delay, kSlaveAckId);
 }
 
 // ---------------------------------------------------------------------------
@@ -789,14 +850,8 @@ void LinkController::master_transmit_to(SlaveLink& link, std::uint32_t clk) {
   const int slots = slots_occupied(h.type);
   const std::uint32_t clk_resp = (clk + 2u * static_cast<std::uint32_t>(slots)) & kClockMask;
   awaiting_response_lt_ = link.lt_addr;
-  defer(kSlotDuration * static_cast<std::uint64_t>(slots),
-        [this, clk_resp] {
-          if (state_ != LcState::kConnectionMaster) return;
-          arm_receiver(addr_.lap(), addr_.uap(), connection_whiten(clk_resp),
-                       Receiver::Expect::kFull);
-          open_rx_window(connection_freq(clk_resp),
-                         config_.carrier_sense_window);
-        });
+  defer(kSlotDuration * static_cast<std::uint64_t>(slots), kMasterRxWindow,
+        clk_resp);
 }
 
 void LinkController::master_send_beacon(std::uint32_t clk) {
@@ -818,7 +873,7 @@ void LinkController::master_send_beacon(std::uint32_t clk) {
 }
 
 void LinkController::master_on_packet(const Receiver::Result& r) {
-  defer(SimTime::zero(), [this] { close_rx_if_idle(); });
+  defer(SimTime::zero(), kCloseRxIfIdle);
   if (!r.header_ok) return;
   SlaveLink* link = piconet_.find(r.header.lt_addr);
   if (link == nullptr) return;
@@ -860,7 +915,7 @@ void LinkController::master_on_packet(const Receiver::Result& r) {
 
 void LinkController::schedule_slave_slot(SimTime at) {
   const SimTime delay = at > env().now() ? at - env().now() : SimTime::zero();
-  defer(delay, [this] { slave_slot_action(); });
+  defer(delay, kSlaveSlot);
 }
 
 void LinkController::slave_slot_action() {
@@ -927,14 +982,14 @@ void LinkController::slave_slot_action() {
 
 void LinkController::slave_on_packet(const Receiver::Result& r) {
   if (!r.header_ok) {
-    defer(SimTime::zero(), [this] { close_rx_if_idle(); });
+    defer(SimTime::zero(), kCloseRxIfIdle);
     return;
   }
   resyncing_ = false;
   const bool mine = r.header.lt_addr == own_lt_addr_;
   const bool broadcast = r.header.lt_addr == 0;
   if (!mine && !broadcast) {
-    defer(SimTime::zero(), [this] { close_rx_if_idle(); });
+    defer(SimTime::zero(), kCloseRxIfIdle);
     return;
   }
 
@@ -968,7 +1023,7 @@ void LinkController::slave_on_packet(const Receiver::Result& r) {
     }
   }
 
-  defer(SimTime::zero(), [this] { close_rx_if_idle(); });
+  defer(SimTime::zero(), kCloseRxIfIdle);
 
   // Respond in the slot following the packet (polling discipline): only
   // packets addressed to us solicit a response, and NULL does not.
@@ -982,7 +1037,7 @@ void LinkController::slave_on_packet(const Receiver::Result& r) {
     const SimTime delay = respond_at > env().now()
                               ? respond_at - env().now()
                               : SimTime::zero();
-    defer(delay, [this, clk_resp] { slave_respond(clk_resp); });
+    defer(delay, kSlaveRespond, clk_resp);
   }
 }
 
@@ -1118,6 +1173,257 @@ void LinkController::slave_set_park(std::uint8_t pm_addr) {
 void LinkController::slave_unpark(std::uint8_t lt_addr) {
   own_lt_addr_ = lt_addr;
   my_mode_ = LinkMode::kActive;
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::uint32_t kLcTag = sim::snapshot_tag("LC  ");
+
+void save_opt_u8(sim::SnapshotWriter& w, const std::optional<std::uint8_t>& v) {
+  w.b(v.has_value());
+  w.u8(v.value_or(0));
+}
+std::optional<std::uint8_t> load_opt_u8(sim::SnapshotReader& r) {
+  const bool have = r.b();
+  const std::uint8_t v = r.u8();
+  return have ? std::optional<std::uint8_t>(v) : std::nullopt;
+}
+
+void save_opt_bool(sim::SnapshotWriter& w, const std::optional<bool>& v) {
+  w.b(v.has_value());
+  w.b(v.value_or(false));
+}
+std::optional<bool> load_opt_bool(sim::SnapshotReader& r) {
+  const bool have = r.b();
+  const bool v = r.b();
+  return have ? std::optional<bool>(v) : std::nullopt;
+}
+
+void save_opt_msg(sim::SnapshotWriter& w,
+                  const std::optional<OutboundMessage>& v) {
+  w.b(v.has_value());
+  if (v) {
+    w.u8(v->llid);
+    w.byte_vec(v->data);
+  }
+}
+std::optional<OutboundMessage> load_opt_msg(sim::SnapshotReader& r) {
+  if (!r.b()) return std::nullopt;
+  OutboundMessage m;
+  m.llid = r.u8();
+  m.data = r.byte_vec();
+  return m;
+}
+
+}  // namespace
+
+void LinkController::save_state(sim::SnapshotWriter& w) const {
+  w.begin_section(kLcTag);
+  // Config (mutable via config(); experiments may tweak it mid-setup).
+  w.u32(config_.inquiry_timeout_slots);
+  w.u32(config_.page_timeout_slots);
+  w.time(config_.carrier_sense_window);
+  w.u32(config_.inquiry_backoff_max_slots);
+  w.u32(config_.inquiry_scan_window_slots);
+  w.u32(config_.inquiry_scan_interval_slots);
+  w.b(config_.interlaced_inquiry_scan);
+  w.u32(config_.t_poll_slots);
+  w.u32(config_.train_repeats);
+  w.u32(static_cast<std::uint32_t>(config_.max_response_retries));
+  w.b(config_.abort_page_on_dialogue_failure);
+  w.b(config_.whitening);
+  w.u8(static_cast<std::uint8_t>(config_.data_packet_type));
+  w.u64(config_.inquiry_target_responses);
+  w.u32(config_.beacon_interval_slots);
+  w.u32(config_.hold_wake_early_slots);
+  // State machine.
+  w.u8(static_cast<std::uint8_t>(state_));
+  w.u32(ticks_in_state_);
+  // Master context: piconet membership and per-link state.
+  sim::save_seq(w, piconet_.slaves().size(), [&](std::size_t i) {
+    const SlaveLink& l = piconet_.slaves()[i];
+    w.u64(l.addr.raw());
+    w.u8(l.lt_addr);
+    w.u8(static_cast<std::uint8_t>(l.mode));
+    w.b(l.seqn_out);
+    w.b(l.arqn_out);
+    save_opt_bool(w, l.last_seqn_in);
+    save_opt_msg(w, l.in_flight);
+    w.b(l.last_tx_was_retx);
+    w.u64(l.retransmissions);
+    l.tx_queue.save_state(w);
+    w.u32(l.last_addressed_clk);
+    w.u32(l.t_poll_slots);
+    w.u32(l.sniff_interval_slots);
+    w.u32(l.sniff_offset_slots);
+    w.u32(static_cast<std::uint32_t>(l.sniff_attempt_slots));
+    w.u32(l.hold_until_clk);
+    w.b(l.needs_resync_poll);
+    w.u8(l.pm_addr);
+  });
+  w.u64(master_addr_.raw());
+  save_opt_u8(w, pending_first_poll_lt_);
+  save_opt_u8(w, awaiting_response_lt_);
+  broadcast_queue_.save_state(w);
+  // Slave context.
+  w.u8(own_lt_addr_);
+  w.u8(static_cast<std::uint8_t>(my_mode_));
+  w.u32(my_sniff_interval_);
+  w.u32(my_sniff_offset_);
+  w.u32(static_cast<std::uint32_t>(my_sniff_attempt_));
+  w.u32(my_hold_until_clk_);
+  w.b(resyncing_);
+  w.u8(my_pm_addr_);
+  w.time(grid_anchor_);
+  w.u32(clk_at_anchor_);
+  my_tx_queue_.save_state(w);
+  w.b(my_seqn_out_);
+  w.b(my_arqn_out_);
+  save_opt_bool(w, my_last_seqn_in_);
+  save_opt_msg(w, my_in_flight_);
+  w.b(respond_at_clk_.has_value());
+  w.u32(respond_at_clk_.value_or(0));
+  w.b(first_response_sent_);
+  // Inquiry context.
+  sim::save_seq(w, discovered_.size(), [&](std::size_t i) {
+    const DiscoveredDevice& d = discovered_[i];
+    w.u64(d.addr.raw());
+    w.u32(d.clkn_offset);
+    w.time(d.found_at);
+  });
+  w.u32(static_cast<std::uint32_t>(last_tx_freq_[0]));
+  w.u32(static_cast<std::uint32_t>(last_tx_freq_[1]));
+  w.u32(static_cast<std::uint32_t>(window_src_freq_));
+  w.b(backoff_armed_);
+  w.b(in_backoff_);
+  w.u32(static_cast<std::uint32_t>(scan_freq_));
+  w.u32(static_cast<std::uint32_t>(inquiry_first_hit_freq_));
+  // Page context.
+  w.u64(page_target_.raw());
+  w.u32(page_clkn_offset_);
+  w.u32(static_cast<std::uint32_t>(page_hit_freq_));
+  w.u32(static_cast<std::uint32_t>(response_n_));
+  w.u32(static_cast<std::uint32_t>(response_retries_));
+  w.u32(fhs_clk_at_tx_);
+  // Counters.
+  w.u64(stats_.id_tx);
+  w.u64(stats_.id_rx);
+  w.u64(stats_.fhs_tx);
+  w.u64(stats_.fhs_rx);
+  w.u64(stats_.data_tx);
+  w.u64(stats_.data_rx_ok);
+  w.u64(stats_.poll_tx);
+  w.u64(stats_.null_tx);
+  w.u64(stats_.retransmissions);
+  w.u64(stats_.duplicates_dropped);
+  w.u64(stats_.backoffs);
+  w.end_section();
+}
+
+void LinkController::restore_state(sim::SnapshotReader& r) {
+  r.enter_section(kLcTag);
+  config_.inquiry_timeout_slots = r.u32();
+  config_.page_timeout_slots = r.u32();
+  config_.carrier_sense_window = r.time();
+  config_.inquiry_backoff_max_slots = r.u32();
+  config_.inquiry_scan_window_slots = r.u32();
+  config_.inquiry_scan_interval_slots = r.u32();
+  config_.interlaced_inquiry_scan = r.b();
+  config_.t_poll_slots = r.u32();
+  config_.train_repeats = r.u32();
+  config_.max_response_retries = static_cast<int>(r.u32());
+  config_.abort_page_on_dialogue_failure = r.b();
+  config_.whitening = r.b();
+  config_.data_packet_type = static_cast<PacketType>(r.u8());
+  config_.inquiry_target_responses = static_cast<std::size_t>(r.u64());
+  config_.beacon_interval_slots = r.u32();
+  config_.hold_wake_early_slots = r.u32();
+  state_ = static_cast<LcState>(r.u8());
+  ticks_in_state_ = r.u32();
+  piconet_.slaves().clear();
+  sim::restore_seq(r, [&](std::size_t) {
+    SlaveLink l;
+    l.addr = BdAddr::from_raw(r.u64());
+    l.lt_addr = r.u8();
+    l.mode = static_cast<LinkMode>(r.u8());
+    l.seqn_out = r.b();
+    l.arqn_out = r.b();
+    l.last_seqn_in = load_opt_bool(r);
+    l.in_flight = load_opt_msg(r);
+    l.last_tx_was_retx = r.b();
+    l.retransmissions = r.u64();
+    l.tx_queue.restore_state(r);
+    l.last_addressed_clk = r.u32();
+    l.t_poll_slots = r.u32();
+    l.sniff_interval_slots = r.u32();
+    l.sniff_offset_slots = r.u32();
+    l.sniff_attempt_slots = static_cast<int>(r.u32());
+    l.hold_until_clk = r.u32();
+    l.needs_resync_poll = r.b();
+    l.pm_addr = r.u8();
+    piconet_.slaves().push_back(std::move(l));
+  });
+  master_addr_ = BdAddr::from_raw(r.u64());
+  pending_first_poll_lt_ = load_opt_u8(r);
+  awaiting_response_lt_ = load_opt_u8(r);
+  broadcast_queue_.restore_state(r);
+  own_lt_addr_ = r.u8();
+  my_mode_ = static_cast<LinkMode>(r.u8());
+  my_sniff_interval_ = r.u32();
+  my_sniff_offset_ = r.u32();
+  my_sniff_attempt_ = static_cast<int>(r.u32());
+  my_hold_until_clk_ = r.u32();
+  resyncing_ = r.b();
+  my_pm_addr_ = r.u8();
+  grid_anchor_ = r.time();
+  clk_at_anchor_ = r.u32();
+  my_tx_queue_.restore_state(r);
+  my_seqn_out_ = r.b();
+  my_arqn_out_ = r.b();
+  my_last_seqn_in_ = load_opt_bool(r);
+  my_in_flight_ = load_opt_msg(r);
+  const bool have_respond_clk = r.b();
+  const std::uint32_t respond_clk = r.u32();
+  respond_at_clk_ = have_respond_clk ? std::optional<std::uint32_t>(respond_clk)
+                                     : std::nullopt;
+  first_response_sent_ = r.b();
+  discovered_.clear();
+  sim::restore_seq(r, [&](std::size_t) {
+    DiscoveredDevice d;
+    d.addr = BdAddr::from_raw(r.u64());
+    d.clkn_offset = r.u32();
+    d.found_at = r.time();
+    discovered_.push_back(d);
+  });
+  last_tx_freq_[0] = static_cast<int>(r.u32());
+  last_tx_freq_[1] = static_cast<int>(r.u32());
+  window_src_freq_ = static_cast<int>(r.u32());
+  backoff_armed_ = r.b();
+  in_backoff_ = r.b();
+  scan_freq_ = static_cast<int>(r.u32());
+  inquiry_first_hit_freq_ = static_cast<int>(r.u32());
+  page_target_ = BdAddr::from_raw(r.u64());
+  page_clkn_offset_ = r.u32();
+  page_hit_freq_ = static_cast<int>(r.u32());
+  response_n_ = static_cast<int>(r.u32());
+  response_retries_ = static_cast<int>(r.u32());
+  fhs_clk_at_tx_ = r.u32();
+  stats_.id_tx = r.u64();
+  stats_.id_rx = r.u64();
+  stats_.fhs_tx = r.u64();
+  stats_.fhs_rx = r.u64();
+  stats_.data_tx = r.u64();
+  stats_.data_rx_ok = r.u64();
+  stats_.poll_tx = r.u64();
+  stats_.null_tx = r.u64();
+  stats_.retransmissions = r.u64();
+  stats_.duplicates_dropped = r.u64();
+  stats_.backoffs = r.u64();
+  r.leave_section();
 }
 
 }  // namespace btsc::baseband

@@ -41,6 +41,7 @@
 #include "baseband/receiver.hpp"
 #include "phy/radio.hpp"
 #include "sim/module.hpp"
+#include "sim/snapshot.hpp"
 
 namespace btsc::baseband {
 
@@ -132,7 +133,9 @@ struct LcStats {
   std::uint64_t backoffs = 0;
 };
 
-class LinkController final : public sim::Module {
+class LinkController final : public sim::Module,
+                             public sim::Snapshotable,
+                             public sim::RearmHandler {
  public:
   struct Callbacks {
     /// Inquiry finished (success = target responses collected in time).
@@ -152,6 +155,7 @@ class LinkController final : public sim::Module {
   LinkController(sim::Environment& env, std::string name, const BdAddr& addr,
                  NativeClock& clock, phy::Radio& radio, Receiver& receiver,
                  LcConfig config = {});
+  ~LinkController() override;
 
   // ---- commands (the paper's Enable_* methods) ----
   void enable_inquiry();
@@ -204,7 +208,38 @@ class LinkController final : public sim::Module {
   /// Master piconet clock (own CLKN for a master, estimate for a slave).
   std::uint32_t piconet_clock() const;
 
+  // ---- checkpointing ----
+
+  /// Saves/restores the full controller state: state machine, piconet
+  /// membership with per-link ARQ/queues, slave context, inquiry/page
+  /// dialogue context and the counters. Pending deferred actions are
+  /// saved by the kernel as (kind, payload) descriptors and replayed
+  /// through rearm_timer().
+  void save_state(sim::SnapshotWriter& w) const override;
+  void restore_state(sim::SnapshotReader& r) override;
+  void rearm_timer(std::uint16_t kind, std::uint64_t payload,
+                   sim::SimTime when) override;
+
  private:
+  /// Timer descriptor kinds. Every deferred action of the controller is
+  /// one of these; the payload carries its whole capture (beyond `this`),
+  /// so a checkpoint can re-create the closure from the descriptor.
+  enum Kind : std::uint16_t {
+    kCloseRxIfIdle = 1,       // close RX unless a packet is assembling
+    kSenseWindowClose = 2,    // payload: carrier_samples() at window open
+    kBackoffEnd = 3,          // inquiry-scan backoff elapsed
+    kSendInquiryFhs = 4,      // payload: frequency of the second ID hit
+    kInquiryFhsDone = 5,      // FHS out; resume inquiry scanning
+    kMasterFhsWindow = 6,     // listen for the slave's FHS acknowledgement
+    kSlaveIdReply = 7,        // answer a page ID train hit
+    kSlaveFhsListen = 8,      // open the continuous FHS listen window
+    kSlaveDialogueTimeout = 9,// abort a silent page-response dialogue
+    kSlaveAckId = 10,         // acknowledge the master's FHS
+    kSlaveEnterConnection = 11,
+    kMasterRxWindow = 12,     // payload: CLK of the response slot
+    kSlaveSlot = 13,          // connected-slave slot action (master grid)
+    kSlaveRespond = 14,       // payload: CLK of the response slot
+  };
   // ---- per-tick dispatch (own CLKN grid) ----
   void on_tick();
   void inquiry_tick();
@@ -258,10 +293,14 @@ class LinkController final : public sim::Module {
   /// behind in the timed queue.
   void cancel_timers();
   /// Schedules a one-shot action owned by this controller, so the next
-  /// cancel_timers() removes it if it has not fired yet. The action is a
-  /// move-only sim::UniqueFunction: deferring never heap-allocates or
-  /// copies the capture.
-  sim::TimerId defer(sim::SimTime delay, sim::UniqueFunction fn);
+  /// cancel_timers() removes it if it has not fired yet. The action is
+  /// built from its (kind, payload) descriptor by make_action(), the
+  /// same factory rearm_timer() uses after a restore, so deferring stays
+  /// allocation-free AND every pending action is checkpointable.
+  sim::TimerId defer(sim::SimTime delay, Kind kind,
+                     std::uint64_t payload = 0);
+  /// The closure for one descriptor (capture = this + payload).
+  sim::UniqueFunction make_action(Kind kind, std::uint64_t payload);
   std::uint32_t slots_in_state() const { return ticks_in_state_ / 2; }
 
   // ---- identity & wiring ----

@@ -35,12 +35,13 @@
 #include "phy/radio.hpp"
 #include "sim/bitvector.hpp"
 #include "sim/environment.hpp"
+#include "sim/snapshot.hpp"
 #include "sim/time.hpp"
 #include "sim/unique_function.hpp"
 
 namespace btsc::baseband {
 
-class Receiver : public phy::BurstRxSink {
+class Receiver : public phy::BurstRxSink, public sim::Snapshotable {
  public:
   /// What the current state machine phase expects on the air.
   enum class Expect : std::uint8_t {
@@ -113,6 +114,15 @@ class Receiver : public phy::BurstRxSink {
     if (catch_up_) catch_up_();
     return carrier_samples_;
   }
+
+  // ---- checkpointing ----
+
+  /// Saves/restores the configuration, the full decode machine
+  /// (correlator/whitener registers, collected and decoded bits) and the
+  /// counters. The receiver owns no timers, so no rearm handler; the
+  /// handler/hook wiring is structural and re-created by construction.
+  void save_state(sim::SnapshotWriter& w) const override;
+  void restore_state(sim::SnapshotReader& r) override;
 
   // ---- statistics ----
   std::uint64_t syncs_detected() const { return syncs_; }

@@ -3,6 +3,7 @@
 #include <optional>
 
 #include "baseband/bt_clock.hpp"
+#include "sim/snapshot.hpp"
 
 namespace btsc::core {
 
@@ -61,6 +62,40 @@ lm::LinkManager& TwoPiconets::master_lm(int piconet) {
 }
 lm::LinkManager& TwoPiconets::slave_lm(int piconet) {
   return *lms_.at(static_cast<std::size_t>(2 * piconet + 1));
+}
+
+std::vector<std::uint8_t> TwoPiconets::save_snapshot() {
+  sim::SnapshotWriter w;
+  w.begin_section(sim::snapshot_tag("COEX"));
+  w.end_section();  // no scenario-level state beyond the modules
+  channel_.save_state(w);
+  for (auto& dev : devices_) {
+    dev->clock().save_state(w);
+    dev->radio().save_state(w);
+    dev->receiver().save_state(w);
+    dev->lc().save_state(w);
+  }
+  for (auto& lm : lms_) lm->save_state(w);
+  env_.save_state(w);
+  return w.take();
+}
+
+void TwoPiconets::restore_snapshot(const std::vector<std::uint8_t>& bytes) {
+  sim::SnapshotReader r(bytes);
+  r.enter_section(sim::snapshot_tag("COEX"));
+  r.leave_section();
+  channel_.restore_state(r);
+  for (auto& dev : devices_) {
+    dev->clock().restore_state(r);
+    dev->radio().restore_state(r);
+    dev->receiver().restore_state(r);
+    dev->lc().restore_state(r);
+  }
+  for (auto& lm : lms_) lm->restore_state(r);
+  env_.restore_state(r);
+  if (!r.at_end()) {
+    throw sim::SnapshotError("coexistence snapshot: trailing bytes");
+  }
 }
 
 bool TwoPiconets::create(int piconet, int max_attempts) {

@@ -51,6 +51,16 @@ class TwoPiconets {
 
   void run(sim::SimTime duration) { env_.run(duration); }
 
+  // ---- checkpoint / fork ----
+
+  /// Serializes all mutable state (channel, devices, link managers,
+  /// kernel last) at a settled instant; see BluetoothSystem.
+  std::vector<std::uint8_t> save_snapshot();
+
+  /// Restores into an identically constructed twin (same
+  /// CoexistenceConfig, including the seed).
+  void restore_snapshot(const std::vector<std::uint8_t>& bytes);
+
  private:
   sim::Environment env_;
   phy::NoisyChannel channel_;

@@ -25,51 +25,105 @@ baseband::LcConfig reliable_lc() {
   return lc;
 }
 
+/// A connected system plus the seed whose construction path produced it
+/// (creation retries perturb the seed; a snapshot scaffold must replay
+/// the successful construction, not the first attempt's).
+struct BuiltConnected {
+  std::unique_ptr<BluetoothSystem> system;
+  std::uint64_t seed = 0;
+};
+
 /// Builds a connected 2-device system or throws (seed is perturbed until
 /// creation succeeds; noiseless creation with long timeouts practically
 /// always succeeds on the first try).
-std::unique_ptr<BluetoothSystem> connected_system(
-    SystemConfig cfg, int max_attempts = 5) {
+BuiltConnected connected_system_seeded(SystemConfig cfg,
+                                       int max_attempts = 5) {
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
     auto sys = std::make_unique<BluetoothSystem>(cfg);
-    if (sys->create_piconet()) return sys;
+    if (sys->create_piconet()) return {std::move(sys), cfg.seed};
     cfg.seed += 7919;
   }
   throw std::runtime_error("connected_system: piconet creation failed");
 }
 
-}  // namespace
-
-void CreationPoint::add(const CreationSample& s) {
-  inquiry_ok.add(s.inquiry_success);
-  if (s.inquiry_success) {
-    inquiry_slots.add(static_cast<double>(s.inquiry_slots));
-  }
-  if (s.page_attempted) {
-    page_ok.add(s.page_success);
-    if (s.page_success) {
-      page_slots.add(static_cast<double>(s.page_slots));
-    }
-  }
+std::unique_ptr<BluetoothSystem> connected_system(SystemConfig cfg,
+                                                  int max_attempts = 5) {
+  return connected_system_seeded(cfg, max_attempts).system;
 }
 
-void CreationPoint::merge(const CreationPoint& other) {
-  inquiry_slots.merge(other.inquiry_slots);
-  page_slots.merge(other.page_slots);
-  inquiry_ok.merge(other.inquiry_ok);
-  page_ok.merge(other.page_ok);
-}
+// ---- per-family system configurations (shared by the legacy one-shot
+//      runners and the staged warm-up/scaffold pair, so both construct
+//      byte-identical systems) ----
 
-CreationSample run_creation_replication(double ber, std::uint64_t seed,
-                                        std::uint32_t timeout_slots) {
+SystemConfig creation_config(double ber, std::uint32_t timeout_slots,
+                             std::uint64_t seed) {
   SystemConfig sc;
   sc.num_slaves = 1;
   sc.ber = ber;
   sc.seed = seed;
   sc.lc.inquiry_timeout_slots = timeout_slots;
   sc.lc.page_timeout_slots = timeout_slots;
-  BluetoothSystem sys(sc);
+  return sc;
+}
 
+SystemConfig backoff_config(std::uint32_t backoff_max_slots,
+                            std::uint64_t seed) {
+  SystemConfig sc;
+  sc.num_slaves = 1;
+  sc.seed = seed;
+  sc.lc.inquiry_backoff_max_slots = backoff_max_slots;
+  return sc;
+}
+
+SystemConfig master_activity_config(std::uint64_t seed) {
+  SystemConfig sc;
+  sc.num_slaves = 1;
+  sc.seed = seed;
+  sc.lc = reliable_lc();
+  // Poll sparsely so the measured activity is traffic-driven, matching
+  // the paper's near-origin curve.
+  sc.lc.t_poll_slots = 4000;
+  return sc;
+}
+
+SystemConfig sniff_activity_config(std::uint64_t seed) {
+  SystemConfig sc;
+  sc.num_slaves = 1;
+  sc.seed = seed;
+  sc.lc = reliable_lc();
+  return sc;
+}
+
+SystemConfig hold_activity_config(std::uint64_t seed) {
+  SystemConfig sc;
+  sc.num_slaves = 1;
+  sc.seed = seed;
+  sc.lc = reliable_lc();
+  // The paper's Fig. 12 baseline is the pure listening cost (2.6%);
+  // poll sparsely so the comparison isolates the hold/active trade-off.
+  sc.lc.t_poll_slots = 4000;
+  return sc;
+}
+
+SystemConfig throughput_system_config(baseband::PacketType type,
+                                      std::uint64_t seed) {
+  SystemConfig sc;
+  sc.num_slaves = 1;
+  sc.seed = seed;
+  sc.lc = reliable_lc();
+  sc.lc.data_packet_type = type;
+  // Creation itself must succeed even at high BER: build noiselessly,
+  // then dial the BER in (the paper's throughput goal concerns the
+  // connected phase, not creation).
+  sc.ber = 0.0;
+  return sc;
+}
+
+// ---- measure stages (everything after the warm-up boundary; shared by
+//      the legacy runners, which call them without reseeding, and the
+//      staged run_*_from entry points, which reseed first) ----
+
+CreationSample measure_creation(BluetoothSystem& sys) {
   CreationSample out;
   const PhaseResult inquiry = sys.run_inquiry();
   out.inquiry_success = inquiry.success;
@@ -83,39 +137,8 @@ CreationSample run_creation_replication(double ber, std::uint64_t seed,
   return out;
 }
 
-CreationPoint run_creation_point(double ber, const CreationConfig& cfg) {
-  CreationPoint point;
-  point.ber = ber;
-  for (int s = 0; s < cfg.seeds; ++s) {
-    point.add(run_creation_replication(
-        ber, cfg.base_seed + static_cast<std::uint64_t>(s),
-        cfg.timeout_slots));
-  }
-  return point;
-}
-
-BackoffSample run_backoff_replication(std::uint32_t backoff_max_slots,
-                                      std::uint64_t seed) {
-  SystemConfig sc;
-  sc.num_slaves = 1;
-  sc.seed = seed;
-  sc.lc.inquiry_backoff_max_slots = backoff_max_slots;
-  BluetoothSystem sys(sc);
-  const PhaseResult r = sys.run_inquiry();
-  return BackoffSample{r.success, r.slots};
-}
-
-MasterActivityRow run_master_activity(double duty,
-                                      const MasterActivityConfig& cfg) {
-  SystemConfig sc;
-  sc.num_slaves = 1;
-  sc.seed = cfg.seed;
-  sc.lc = reliable_lc();
-  // Poll sparsely so the measured activity is traffic-driven, matching
-  // the paper's near-origin curve.
-  sc.lc.t_poll_slots = 4000;
-  auto sys = connected_system(sc);
-
+MasterActivityRow measure_master_activity(BluetoothSystem& sys, double duty,
+                                          const MasterActivityConfig& cfg) {
   MasterActivityRow row;
   row.duty = duty;
   // duty = used TX slots / available TX slots (one per even slot).
@@ -123,35 +146,30 @@ MasterActivityRow run_master_activity(double duty,
       std::max(2.0, std::round(2.0 / std::max(duty, 1e-6))));
   std::optional<PeriodicTrafficSource> source;
   if (duty > 0.0) {
-    source.emplace(sys->master(), sys->lt_addr_of(0), period_slots,
+    source.emplace(sys.master(), sys.lt_addr_of(0), period_slots,
                    cfg.payload_bytes);
   }
-  sys->run(kSlotDuration * 64);  // settle
-  ActivityProbe probe(sys->master().radio());
-  sys->run(kSlotDuration * cfg.measure_slots);
+  sys.run(kSlotDuration * 64);  // settle
+  ActivityProbe probe(sys.master().radio());
+  sys.run(kSlotDuration * cfg.measure_slots);
   row.master = probe.measure();
   if (source) row.messages = source->messages_sent();
   return row;
 }
 
-SlaveActivityRow run_sniff_activity(std::optional<std::uint32_t> tsniff,
-                                    const SniffActivityConfig& cfg) {
-  SystemConfig sc;
-  sc.num_slaves = 1;
-  sc.seed = cfg.seed;
-  sc.lc = reliable_lc();
-  auto sys = connected_system(sc);
-  const std::uint8_t lt = sys->lt_addr_of(0);
-
+SlaveActivityRow measure_sniff_activity(BluetoothSystem& sys,
+                                        std::optional<std::uint32_t> tsniff,
+                                        const SniffActivityConfig& cfg) {
+  const std::uint8_t lt = sys.lt_addr_of(0);
   if (tsniff) {
-    sys->master().lc().master_set_sniff(lt, *tsniff, 0, 1);
-    sys->slave(0).lc().slave_set_sniff(*tsniff, 0, 1);
+    sys.master().lc().master_set_sniff(lt, *tsniff, 0, 1);
+    sys.slave(0).lc().slave_set_sniff(*tsniff, 0, 1);
   }
-  PeriodicTrafficSource source(sys->master(), lt, cfg.data_period_slots,
+  PeriodicTrafficSource source(sys.master(), lt, cfg.data_period_slots,
                                cfg.payload_bytes);
-  sys->run(kSlotDuration * 256);  // settle into the sniff schedule
-  ActivityProbe probe(sys->slave(0).radio());
-  sys->run(kSlotDuration * cfg.measure_slots);
+  sys.run(kSlotDuration * 256);  // settle into the sniff schedule
+  ActivityProbe probe(sys.slave(0).radio());
+  sys.run(kSlotDuration * cfg.measure_slots);
 
   SlaveActivityRow row;
   row.mode_parameter = tsniff;
@@ -159,25 +177,18 @@ SlaveActivityRow run_sniff_activity(std::optional<std::uint32_t> tsniff,
   return row;
 }
 
-SlaveActivityRow run_hold_activity(std::optional<std::uint32_t> thold,
-                                   const HoldActivityConfig& cfg) {
-  SystemConfig sc;
-  sc.num_slaves = 1;
-  sc.seed = cfg.seed;
-  sc.lc = reliable_lc();
-  // The paper's Fig. 12 baseline is the pure listening cost (2.6%);
-  // poll sparsely so the comparison isolates the hold/active trade-off.
-  sc.lc.t_poll_slots = 4000;
-  auto sys = connected_system(sc);
-  const std::uint8_t lt = sys->lt_addr_of(0);
-  sys->run(kSlotDuration * 64);
+SlaveActivityRow measure_hold_activity(BluetoothSystem& sys,
+                                       std::optional<std::uint32_t> thold,
+                                       const HoldActivityConfig& cfg) {
+  const std::uint8_t lt = sys.lt_addr_of(0);
+  sys.run(kSlotDuration * 64);
 
   SlaveActivityRow row;
   row.mode_parameter = thold;
 
   if (!thold) {
-    ActivityProbe probe(sys->slave(0).radio());
-    sys->run(kSlotDuration * cfg.min_measure_slots);
+    ActivityProbe probe(sys.slave(0).radio());
+    sys.run(kSlotDuration * cfg.min_measure_slots);
     row.slave = probe.measure();
     return row;
   }
@@ -185,32 +196,22 @@ SlaveActivityRow run_hold_activity(std::optional<std::uint32_t> thold,
   const std::uint32_t cycle = *thold + cfg.inter_hold_gap_slots;
   const std::uint32_t cycles = std::max<std::uint32_t>(
       6, (cfg.min_measure_slots + cycle - 1) / cycle);
-  ActivityProbe probe(sys->slave(0).radio());
+  ActivityProbe probe(sys.slave(0).radio());
   for (std::uint32_t c = 0; c < cycles; ++c) {
-    sys->master().lc().master_set_hold(lt, *thold);
-    sys->slave(0).lc().slave_set_hold(*thold);
-    sys->run(kSlotDuration * cycle);
+    sys.master().lc().master_set_hold(lt, *thold);
+    sys.slave(0).lc().slave_set_hold(*thold);
+    sys.run(kSlotDuration * cycle);
   }
   row.slave = probe.measure();
   return row;
 }
 
-ThroughputRow run_throughput(baseband::PacketType type, double ber,
-                             const ThroughputConfig& cfg) {
-  SystemConfig sc;
-  sc.num_slaves = 1;
-  sc.seed = cfg.seed;
-  sc.ber = ber;
-  sc.lc = reliable_lc();
-  sc.lc.data_packet_type = type;
-  // Creation itself must succeed even at high BER: build noiselessly,
-  // then dial the BER in (the paper's throughput goal concerns the
-  // connected phase, not creation).
-  sc.ber = 0.0;
-  auto sys = connected_system(sc);
-  sys->channel().set_ber(ber);
+ThroughputRow measure_throughput(BluetoothSystem& sys,
+                                 baseband::PacketType type, double ber,
+                                 const ThroughputConfig& cfg) {
+  sys.channel().set_ber(ber);
 
-  const std::uint8_t lt = sys->lt_addr_of(0);
+  const std::uint8_t lt = sys.lt_addr_of(0);
   const std::size_t payload = baseband::max_user_bytes(type);
   std::uint64_t delivered_bytes = 0;
   std::uint64_t delivered_msgs = 0;
@@ -219,35 +220,29 @@ ThroughputRow run_throughput(baseband::PacketType type, double ber,
     delivered_bytes += d.size();
     ++delivered_msgs;
   };
-  sys->slave_lm(0).set_events(std::move(ev));
+  sys.slave_lm(0).set_events(std::move(ev));
 
-  SaturatingTrafficSource source(sys->master(), lt, payload);
-  const std::uint64_t retx_before = sys->master().lc().stats().retransmissions;
-  sys->run(kSlotDuration * 64);
+  SaturatingTrafficSource source(sys.master(), lt, payload);
+  const std::uint64_t retx_before = sys.master().lc().stats().retransmissions;
+  sys.run(kSlotDuration * 64);
   const SimTime window = kSlotDuration * cfg.measure_slots;
   const std::uint64_t bytes_before = delivered_bytes;
-  sys->run(window);
+  sys.run(window);
 
   ThroughputRow row;
   row.type = type;
   row.ber = ber;
   row.delivered_messages = delivered_msgs;
   row.retransmissions =
-      sys->master().lc().stats().retransmissions - retx_before;
+      sys.master().lc().stats().retransmissions - retx_before;
   row.goodput_kbps = static_cast<double>((delivered_bytes - bytes_before) * 8) /
                      window.as_sec() / 1000.0;
   return row;
 }
 
-CoexistenceRow run_coexistence(std::uint32_t neighbour_period_slots,
-                               const CoexistenceRunConfig& cfg) {
-  CoexistenceConfig cc;
-  cc.seed = cfg.seed;
-  TwoPiconets net(cc);
-  if (!net.create(0) || !net.create(1)) {
-    throw std::runtime_error("run_coexistence: piconet creation failed");
-  }
-
+CoexistenceRow measure_coexistence(TwoPiconets& net,
+                                   std::uint32_t neighbour_period_slots,
+                                   const CoexistenceRunConfig& cfg) {
   std::uint64_t victim_bytes = 0;
   lm::LinkManager::Events ev;
   ev.user_data = [&](std::uint8_t, std::vector<std::uint8_t> d) {
@@ -274,6 +269,226 @@ CoexistenceRow run_coexistence(std::uint32_t neighbour_period_slots,
       net.master(0).lc().stats().retransmissions - retx0;
   row.collision_samples = net.channel().collision_samples() - coll0;
   return row;
+}
+
+}  // namespace
+
+void CreationPoint::add(const CreationSample& s) {
+  inquiry_ok.add(s.inquiry_success);
+  if (s.inquiry_success) {
+    inquiry_slots.add(static_cast<double>(s.inquiry_slots));
+  }
+  if (s.page_attempted) {
+    page_ok.add(s.page_success);
+    if (s.page_success) {
+      page_slots.add(static_cast<double>(s.page_slots));
+    }
+  }
+}
+
+void CreationPoint::merge(const CreationPoint& other) {
+  inquiry_slots.merge(other.inquiry_slots);
+  page_slots.merge(other.page_slots);
+  inquiry_ok.merge(other.inquiry_ok);
+  page_ok.merge(other.page_ok);
+}
+
+CreationSample run_creation_replication(double ber, std::uint64_t seed,
+                                        std::uint32_t timeout_slots) {
+  BluetoothSystem sys(creation_config(ber, timeout_slots, seed));
+  return measure_creation(sys);
+}
+
+CreationPoint run_creation_point(double ber, const CreationConfig& cfg) {
+  CreationPoint point;
+  point.ber = ber;
+  for (int s = 0; s < cfg.seeds; ++s) {
+    point.add(run_creation_replication(
+        ber, cfg.base_seed + static_cast<std::uint64_t>(s),
+        cfg.timeout_slots));
+  }
+  return point;
+}
+
+BackoffSample run_backoff_replication(std::uint32_t backoff_max_slots,
+                                      std::uint64_t seed) {
+  BluetoothSystem sys(backoff_config(backoff_max_slots, seed));
+  const PhaseResult r = sys.run_inquiry();
+  return BackoffSample{r.success, r.slots};
+}
+
+MasterActivityRow run_master_activity(double duty,
+                                      const MasterActivityConfig& cfg) {
+  auto sys = connected_system(master_activity_config(cfg.seed));
+  return measure_master_activity(*sys, duty, cfg);
+}
+
+SlaveActivityRow run_sniff_activity(std::optional<std::uint32_t> tsniff,
+                                    const SniffActivityConfig& cfg) {
+  auto sys = connected_system(sniff_activity_config(cfg.seed));
+  return measure_sniff_activity(*sys, tsniff, cfg);
+}
+
+SlaveActivityRow run_hold_activity(std::optional<std::uint32_t> thold,
+                                   const HoldActivityConfig& cfg) {
+  auto sys = connected_system(hold_activity_config(cfg.seed));
+  return measure_hold_activity(*sys, thold, cfg);
+}
+
+ThroughputRow run_throughput(baseband::PacketType type, double ber,
+                             const ThroughputConfig& cfg) {
+  auto sys = connected_system(throughput_system_config(type, cfg.seed));
+  return measure_throughput(*sys, type, ber, cfg);
+}
+
+CoexistenceRow run_coexistence(std::uint32_t neighbour_period_slots,
+                               const CoexistenceRunConfig& cfg) {
+  CoexistenceConfig cc;
+  cc.seed = cfg.seed;
+  TwoPiconets net(cc);
+  if (!net.create(0) || !net.create(1)) {
+    throw std::runtime_error("run_coexistence: piconet creation failed");
+  }
+  return measure_coexistence(net, neighbour_period_slots, cfg);
+}
+
+// ---------------------------------------------------------------------------
+// Staged (checkpoint/fork) variants
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<BluetoothSystem> make_creation_system(
+    double ber, std::uint32_t timeout_slots, std::uint64_t seed) {
+  auto sys = std::make_unique<BluetoothSystem>(
+      creation_config(ber, timeout_slots, seed));
+  sys->env().settle();  // snapshot boundary: no delta work pending
+  return sys;
+}
+
+CreationSample run_creation_from(BluetoothSystem& sys,
+                                 std::uint64_t replication_seed) {
+  sys.env().rng().reseed(replication_seed);
+  sys.randomize_slave_clocks();
+  return measure_creation(sys);
+}
+
+std::unique_ptr<BluetoothSystem> make_backoff_system(
+    std::uint32_t backoff_max_slots, std::uint64_t seed) {
+  auto sys = std::make_unique<BluetoothSystem>(
+      backoff_config(backoff_max_slots, seed));
+  sys->env().settle();
+  return sys;
+}
+
+BackoffSample run_backoff_from(BluetoothSystem& sys,
+                               std::uint64_t replication_seed) {
+  sys.env().rng().reseed(replication_seed);
+  sys.randomize_slave_clocks();
+  const PhaseResult r = sys.run_inquiry();
+  return BackoffSample{r.success, r.slots};
+}
+
+namespace {
+
+/// Shared shape of the connected-phase warm-ups/scaffolds.
+ConnectedWarmup connected_warmup(SystemConfig cfg) {
+  auto built = connected_system_seeded(std::move(cfg));
+  built.system->env().settle();
+  return {std::move(built.system), built.seed};
+}
+
+std::unique_ptr<BluetoothSystem> connected_scaffold(SystemConfig cfg) {
+  auto sys = std::make_unique<BluetoothSystem>(cfg);
+  sys->env().settle();  // restore requires a settled kernel
+  return sys;
+}
+
+}  // namespace
+
+ConnectedWarmup master_activity_warmup(std::uint64_t warm_seed) {
+  return connected_warmup(master_activity_config(warm_seed));
+}
+
+std::unique_ptr<BluetoothSystem> master_activity_scaffold(
+    std::uint64_t construction_seed) {
+  return connected_scaffold(master_activity_config(construction_seed));
+}
+
+MasterActivityRow run_master_activity_from(BluetoothSystem& sys, double duty,
+                                           const MasterActivityConfig& cfg) {
+  sys.env().rng().reseed(cfg.seed);
+  return measure_master_activity(sys, duty, cfg);
+}
+
+ConnectedWarmup sniff_activity_warmup(std::uint64_t warm_seed) {
+  return connected_warmup(sniff_activity_config(warm_seed));
+}
+
+std::unique_ptr<BluetoothSystem> sniff_activity_scaffold(
+    std::uint64_t construction_seed) {
+  return connected_scaffold(sniff_activity_config(construction_seed));
+}
+
+SlaveActivityRow run_sniff_activity_from(BluetoothSystem& sys,
+                                         std::optional<std::uint32_t> tsniff,
+                                         const SniffActivityConfig& cfg) {
+  sys.env().rng().reseed(cfg.seed);
+  return measure_sniff_activity(sys, tsniff, cfg);
+}
+
+ConnectedWarmup hold_activity_warmup(std::uint64_t warm_seed) {
+  return connected_warmup(hold_activity_config(warm_seed));
+}
+
+std::unique_ptr<BluetoothSystem> hold_activity_scaffold(
+    std::uint64_t construction_seed) {
+  return connected_scaffold(hold_activity_config(construction_seed));
+}
+
+SlaveActivityRow run_hold_activity_from(BluetoothSystem& sys,
+                                        std::optional<std::uint32_t> thold,
+                                        const HoldActivityConfig& cfg) {
+  sys.env().rng().reseed(cfg.seed);
+  return measure_hold_activity(sys, thold, cfg);
+}
+
+ConnectedWarmup throughput_warmup(baseband::PacketType type,
+                                  std::uint64_t warm_seed) {
+  return connected_warmup(throughput_system_config(type, warm_seed));
+}
+
+std::unique_ptr<BluetoothSystem> throughput_scaffold(
+    baseband::PacketType type, std::uint64_t construction_seed) {
+  return connected_scaffold(throughput_system_config(type, construction_seed));
+}
+
+ThroughputRow run_throughput_from(BluetoothSystem& sys,
+                                  baseband::PacketType type, double ber,
+                                  const ThroughputConfig& cfg) {
+  sys.env().rng().reseed(cfg.seed);
+  return measure_throughput(sys, type, ber, cfg);
+}
+
+std::unique_ptr<TwoPiconets> coexistence_scaffold(std::uint64_t seed) {
+  CoexistenceConfig cc;
+  cc.seed = seed;
+  auto net = std::make_unique<TwoPiconets>(cc);
+  net->env().settle();
+  return net;
+}
+
+std::unique_ptr<TwoPiconets> coexistence_warmup(std::uint64_t warm_seed) {
+  auto net = coexistence_scaffold(warm_seed);
+  if (!net->create(0) || !net->create(1)) {
+    throw std::runtime_error("coexistence warm-up: piconet creation failed");
+  }
+  return net;
+}
+
+CoexistenceRow run_coexistence_from(TwoPiconets& net,
+                                    std::uint32_t neighbour_period_slots,
+                                    const CoexistenceRunConfig& cfg) {
+  net.env().rng().reseed(cfg.seed);
+  return measure_coexistence(net, neighbour_period_slots, cfg);
 }
 
 }  // namespace btsc::core

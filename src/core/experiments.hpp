@@ -1,18 +1,27 @@
 // Experiment runners: one function per figure of the paper, plus the
 // packet-type throughput analysis the paper names as a goal of the model.
 //
-// Two levels of API:
-//  * run_*_replication — ONE independent simulation from ONE seed. These
-//    are the bodies handed to runner::SweepRunner, which shards them
-//    across threads; they must derive all randomness from the seed they
-//    are given and touch no shared state.
+// Three levels of API:
+//  * run_*_replication / run_* — ONE independent simulation from ONE
+//    seed. These are the bodies handed to runner::SweepRunner, which
+//    shards them across threads; they must derive all randomness from
+//    the seed they are given and touch no shared state.
 //  * run_* point/row functions — serial convenience wrappers aggregating
 //    a default replication count, used by the unit tests.
+//  * staged (checkpoint/fork) variants — the same replication split into
+//    an explicit warm-up stage (driven by a dedicated warm-up seed,
+//    shared by every replication of a point) and a measure stage (driven
+//    by the replication seed, applied by reseeding the environment RNG
+//    at the stage boundary). A cold staged replication re-runs the
+//    warm-up; a forked one restores it from a snapshot -- both produce
+//    bitwise-identical samples, which the runner's forked-vs-cold gates
+//    assert.
 //
 // Benches print the rows; tests run reduced configurations.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "baseband/packet.hpp"
@@ -20,6 +29,16 @@
 #include "stats/accumulator.hpp"
 
 namespace btsc::core {
+
+class BluetoothSystem;
+class TwoPiconets;
+
+/// Reserved replication index of the warm-up seed derivation:
+/// warm_seed = Rng::derive_stream_seed(base_seed, stream, kWarmupIndex).
+/// Real replication indices are small, so the warm-up stream can never
+/// collide with a measurement stream.
+inline constexpr std::uint64_t kWarmupReplicationIndex =
+    0xFFFFFFFFFFFFFFFFull;
 
 // ---- Figs. 6-8: piconet creation vs BER ----
 
@@ -203,5 +222,88 @@ struct CoexistenceRunConfig {
 /// the neighbour's offered load; one call = one replication.
 CoexistenceRow run_coexistence(std::uint32_t neighbour_period_slots,
                                const CoexistenceRunConfig& cfg);
+
+// ---- staged (checkpoint/fork) variants ----
+//
+// Every family splits into:
+//   warm-up  — builds the system with the warm-up seed and simulates the
+//              replication-independent prefix (for the creation family
+//              that is construction only; for the connected-phase
+//              studies it is piconet creation). Ends at a settled,
+//              snapshotable instant.
+//   scaffold — re-runs ONLY the construction path of the warm-up (the
+//              structural twin a snapshot restores into).
+//   run_*_from — the measure stage: reseeds the environment RNG with the
+//              replication seed and simulates the measured window.
+//
+// Cold fork:  measure(warmup(point, warm_seed), rep_seed)
+// Warm fork:  bytes = warmup(...).save_snapshot()  [once per point]
+//             sys = scaffold(...); sys.restore_snapshot(bytes);
+//             measure(sys, rep_seed)
+// Both paths reach the boundary in the identical state, so the samples
+// are bitwise equal.
+
+/// Creation family (Figs. 6-8): the warm-up is construction at t = 0.
+std::unique_ptr<BluetoothSystem> make_creation_system(
+    double ber, std::uint32_t timeout_slots, std::uint64_t seed);
+/// Reseeds with `replication_seed`, re-randomises the slave clocks (the
+/// per-replication randomness the legacy path drew at construction) and
+/// runs inquiry + page.
+CreationSample run_creation_from(BluetoothSystem& sys,
+                                 std::uint64_t replication_seed);
+
+/// Backoff ablation: same shape as the creation family.
+std::unique_ptr<BluetoothSystem> make_backoff_system(
+    std::uint32_t backoff_max_slots, std::uint64_t seed);
+BackoffSample run_backoff_from(BluetoothSystem& sys,
+                               std::uint64_t replication_seed);
+
+/// Connected-phase warm-up result: creation retries perturb the seed, so
+/// the scaffold must be constructed from the seed that finally succeeded.
+struct ConnectedWarmup {
+  std::unique_ptr<BluetoothSystem> system;
+  /// Seed of the successful construction (scaffold input).
+  std::uint64_t construction_seed = 0;
+};
+
+ConnectedWarmup master_activity_warmup(std::uint64_t warm_seed);
+std::unique_ptr<BluetoothSystem> master_activity_scaffold(
+    std::uint64_t construction_seed);
+/// cfg.seed is the replication seed here (reseeds at the boundary).
+MasterActivityRow run_master_activity_from(BluetoothSystem& sys, double duty,
+                                           const MasterActivityConfig& cfg);
+
+ConnectedWarmup sniff_activity_warmup(std::uint64_t warm_seed);
+std::unique_ptr<BluetoothSystem> sniff_activity_scaffold(
+    std::uint64_t construction_seed);
+SlaveActivityRow run_sniff_activity_from(BluetoothSystem& sys,
+                                         std::optional<std::uint32_t> tsniff,
+                                         const SniffActivityConfig& cfg);
+
+ConnectedWarmup hold_activity_warmup(std::uint64_t warm_seed);
+std::unique_ptr<BluetoothSystem> hold_activity_scaffold(
+    std::uint64_t construction_seed);
+SlaveActivityRow run_hold_activity_from(BluetoothSystem& sys,
+                                        std::optional<std::uint32_t> thold,
+                                        const HoldActivityConfig& cfg);
+
+/// The throughput warm-up depends on the packet type (it is part of the
+/// link configuration), not on the BER (creation runs noiselessly).
+ConnectedWarmup throughput_warmup(baseband::PacketType type,
+                                  std::uint64_t warm_seed);
+std::unique_ptr<BluetoothSystem> throughput_scaffold(
+    baseband::PacketType type, std::uint64_t construction_seed);
+ThroughputRow run_throughput_from(BluetoothSystem& sys,
+                                  baseband::PacketType type, double ber,
+                                  const ThroughputConfig& cfg);
+
+/// Coexistence: creation retries re-enable scanning inside one
+/// environment (no reconstruction), so scaffold and warm-up share the
+/// seed. The warm-up throws if either piconet fails to form.
+std::unique_ptr<TwoPiconets> coexistence_scaffold(std::uint64_t seed);
+std::unique_ptr<TwoPiconets> coexistence_warmup(std::uint64_t warm_seed);
+CoexistenceRow run_coexistence_from(TwoPiconets& net,
+                                    std::uint32_t neighbour_period_slots,
+                                    const CoexistenceRunConfig& cfg);
 
 }  // namespace btsc::core

@@ -226,8 +226,9 @@ class Report {
 
 /// Shared command-line knobs for the figure benches and btsc-sweep:
 /// --seeds/--replications N, --quick, --csv, --json, --threads N,
-/// --out FILE, --base-seed S, --max-points N. Unknown arguments are
-/// ignored (each main may parse extras of its own).
+/// --out FILE, --base-seed S, --max-points N, --checkpoint-warmup,
+/// --cold-warmup. Unknown arguments are ignored (each main may parse
+/// extras of its own).
 struct BenchArgs {
   /// Replications per point; 0 = scenario/bench default.
   int seeds = 0;
@@ -250,6 +251,15 @@ struct BenchArgs {
   /// simulation results are bit-identical either way -- this is the
   /// swap-safety escape hatch, not a modelling knob.
   bool no_burst = false;
+  /// Fork every replication from a per-point warm-up snapshot instead of
+  /// re-running the warm-up (runner::WarmupMode::kFork). Changes the
+  /// sample streams relative to the default single-stage replication,
+  /// but is bitwise equivalent to --cold-warmup.
+  bool checkpoint_warmup = false;
+  /// Staged replications with the warm-up re-run cold every time
+  /// (runner::WarmupMode::kCold) -- the reference semantics of, and the
+  /// escape hatch from, --checkpoint-warmup.
+  bool cold_warmup = false;
 
   static BenchArgs parse(int argc, char** argv) {
     // Malformed numeric values keep the previous value and warn, rather
@@ -276,6 +286,10 @@ struct BenchArgs {
         a.quick = true;
       } else if (arg == "--no-burst") {
         a.no_burst = true;
+      } else if (arg == "--checkpoint-warmup") {
+        a.checkpoint_warmup = true;
+      } else if (arg == "--cold-warmup") {
+        a.cold_warmup = true;
       } else if (arg == "--csv") {
         a.csv = true;
       } else if (arg == "--json") {

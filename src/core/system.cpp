@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "sim/snapshot.hpp"
+
 namespace btsc::core {
 
 using namespace btsc::sim::literals;
@@ -135,6 +137,66 @@ PhaseResult BluetoothSystem::run_page(int slave_index) {
             kSlotDuration;
   if (r.success) connected_[static_cast<std::size_t>(slave_index)] = true;
   return r;
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::uint32_t kSysTag = sim::snapshot_tag("SYS ");
+
+}  // namespace
+
+std::vector<std::uint8_t> BluetoothSystem::save_snapshot() {
+  sim::SnapshotWriter w;
+  w.begin_section(kSysTag);
+  sim::save_seq(w, connected_.size(),
+                [&](std::size_t i) { w.b(connected_[i]); });
+  w.end_section();
+  channel_.save_state(w);
+  for (auto& dev : devices_) {
+    dev->clock().save_state(w);
+    dev->radio().save_state(w);
+    dev->receiver().save_state(w);
+    dev->lc().save_state(w);
+  }
+  for (auto& lm : lms_) lm->save_state(w);
+  env_.save_state(w);  // last: timer descriptors reference settled modules
+  return w.take();
+}
+
+void BluetoothSystem::restore_snapshot(const std::vector<std::uint8_t>& bytes) {
+  sim::SnapshotReader r(bytes);
+  r.enter_section(kSysTag);
+  sim::restore_seq(r, [&](std::size_t i) { connected_.at(i) = r.b(); });
+  r.leave_section();
+  // Channel before radios: Radio::restore_state re-links in-flight burst
+  // run bits into the channel ports. Kernel last: rearm handlers read
+  // restored module state to rebuild callbacks.
+  channel_.restore_state(r);
+  for (auto& dev : devices_) {
+    dev->clock().restore_state(r);
+    dev->radio().restore_state(r);
+    dev->receiver().restore_state(r);
+    dev->lc().restore_state(r);
+  }
+  for (auto& lm : lms_) lm->restore_state(r);
+  env_.restore_state(r);
+  if (!r.at_end()) {
+    throw sim::SnapshotError("system snapshot: trailing bytes");
+  }
+}
+
+void BluetoothSystem::randomize_slave_clocks() {
+  for (std::size_t i = 1; i < devices_.size(); ++i) {
+    // Same draw order as construction: clock value first, phase second.
+    const auto clkn =
+        static_cast<std::uint32_t>(env_.rng().uniform(0, kClockMask));
+    const SimTime phase = SimTime::us(env_.rng().uniform(1, 1249));
+    devices_[i]->clock().reset_phase(clkn, phase);
+  }
 }
 
 bool BluetoothSystem::create_piconet() {

@@ -83,6 +83,26 @@ class BluetoothSystem {
   /// Closes the VCD trace (flushes the waveform file).
   void finish_trace();
 
+  // ---- checkpoint / fork ----
+
+  /// Serializes every mutable simulation layer (scenario flags, channel,
+  /// per-device clock/radio/receiver/LC, link managers, kernel last) at a
+  /// settled instant. Throws sim::SnapshotError if any pending timer is
+  /// not re-armable (see Environment::save_state).
+  std::vector<std::uint8_t> save_snapshot();
+
+  /// Restores a snapshot into this system. The receiver must have been
+  /// constructed through the identical construction path (same
+  /// SystemConfig, including the seed) as the system that saved it; only
+  /// mutable state is overwritten, the object graph is structural.
+  void restore_snapshot(const std::vector<std::uint8_t>& bytes);
+
+  /// Re-randomises every slave's CLKN value and tick phase from the
+  /// environment RNG, in construction draw order -- the per-replication
+  /// randomness of the creation experiments, applied after reseeding the
+  /// RNG at a fork boundary.
+  void randomize_slave_clocks();
+
  private:
   sim::Environment env_;
   std::unique_ptr<sim::VcdTracer> tracer_;

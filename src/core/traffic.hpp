@@ -1,10 +1,18 @@
 // Application-layer traffic sources used by the activity experiments.
+//
+// Both sources drive themselves with self-rescheduling timers; those are
+// owner-tagged descriptor timers so a checkpoint taken while a source is
+// armed can be restored (the kernel replays the descriptor through
+// rearm_timer()). Construction parameters (period, payload, backlog) are
+// not serialized -- restore assumes an identically constructed source.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "baseband/device.hpp"
+#include "sim/snapshot.hpp"
 #include "sim/time.hpp"
 
 namespace btsc::core {
@@ -12,7 +20,8 @@ namespace btsc::core {
 /// Queues a fixed-size payload to one link every `period_slots` slots
 /// (the paper's Fig. 11 uses a 100-slot period; Fig. 10 sweeps the duty
 /// cycle, i.e. the inverse period).
-class PeriodicTrafficSource {
+class PeriodicTrafficSource : public sim::Snapshotable,
+                              public sim::RearmHandler {
  public:
   PeriodicTrafficSource(baseband::Device& device, std::uint8_t lt_addr,
                         std::uint32_t period_slots,
@@ -21,21 +30,54 @@ class PeriodicTrafficSource {
         lt_addr_(lt_addr),
         period_(baseband::kSlotDuration * period_slots),
         payload_(payload_bytes, 0xA5) {
-    schedule_next();
+    device_.env().register_rearm(
+        device_.name() + ".ptraffic." + std::to_string(lt_addr_), this, this);
+    schedule_next(period_);
   }
+
+  ~PeriodicTrafficSource() override { device_.env().unregister_rearm(this); }
 
   void stop() { running_ = false; }
   std::uint64_t messages_sent() const { return sent_; }
 
+  // ---- checkpointing ----
+  void save_state(sim::SnapshotWriter& w) const override {
+    w.begin_section(kTag);
+    w.b(running_);
+    w.u64(sent_);
+    w.end_section();
+  }
+  void restore_state(sim::SnapshotReader& r) override {
+    r.enter_section(kTag);
+    running_ = r.b();
+    sent_ = r.u64();
+    r.leave_section();
+  }
+  void rearm_timer(std::uint16_t kind, std::uint64_t /*payload*/,
+                   sim::SimTime when) override {
+    if (kind != kSend) {
+      throw sim::SnapshotError("periodic traffic: bad timer kind " +
+                               std::to_string(kind));
+    }
+    schedule_next(when - device_.env().now());
+  }
+
  private:
-  void schedule_next() {
-    device_.env().schedule(period_, [this] {
-      if (!running_) return;
-      if (device_.lc().send_acl(lt_addr_, baseband::kLlidStart, payload_)) {
-        ++sent_;
-      }
-      schedule_next();
-    });
+  static constexpr std::uint32_t kTag = sim::snapshot_tag("TRFP");
+  enum Kind : std::uint16_t { kSend = 1 };
+
+  void schedule_next(sim::SimTime delay) {
+    device_.env().schedule_tagged(
+        delay, kSend, 0,
+        [this] {
+          if (!running_) return;
+          if (device_.lc().send_acl(lt_addr_, baseband::kLlidStart,
+                                    payload_)) {
+            ++sent_;
+          }
+          schedule_next(period_);
+        },
+        /*owner=*/this);
   }
 
   baseband::Device& device_;
@@ -48,7 +90,8 @@ class PeriodicTrafficSource {
 
 /// Keeps the sender's queue non-empty (saturation source) for throughput
 /// experiments: refills up to `backlog` messages each slot.
-class SaturatingTrafficSource {
+class SaturatingTrafficSource : public sim::Snapshotable,
+                                public sim::RearmHandler {
  public:
   SaturatingTrafficSource(baseband::Device& device, std::uint8_t lt_addr,
                           std::size_t payload_bytes, std::size_t backlog = 4)
@@ -56,13 +99,42 @@ class SaturatingTrafficSource {
         lt_addr_(lt_addr),
         payload_(payload_bytes, 0x3C),
         backlog_(backlog) {
+    device_.env().register_rearm(
+        device_.name() + ".straffic." + std::to_string(lt_addr_), this, this);
     refill();
   }
+
+  ~SaturatingTrafficSource() override { device_.env().unregister_rearm(this); }
 
   void stop() { running_ = false; }
   std::uint64_t messages_sent() const { return sent_; }
 
+  // ---- checkpointing ----
+  void save_state(sim::SnapshotWriter& w) const override {
+    w.begin_section(kTag);
+    w.b(running_);
+    w.u64(sent_);
+    w.end_section();
+  }
+  void restore_state(sim::SnapshotReader& r) override {
+    r.enter_section(kTag);
+    running_ = r.b();
+    sent_ = r.u64();
+    r.leave_section();
+  }
+  void rearm_timer(std::uint16_t kind, std::uint64_t /*payload*/,
+                   sim::SimTime when) override {
+    if (kind != kRefill) {
+      throw sim::SnapshotError("saturating traffic: bad timer kind " +
+                               std::to_string(kind));
+    }
+    schedule_refill(when - device_.env().now());
+  }
+
  private:
+  static constexpr std::uint32_t kTag = sim::snapshot_tag("TRFS");
+  enum Kind : std::uint16_t { kRefill = 1 };
+
   void refill() {
     if (!running_) return;
     for (std::size_t i = 0; i < backlog_; ++i) {
@@ -71,8 +143,12 @@ class SaturatingTrafficSource {
       }
       ++sent_;
     }
-    device_.env().schedule(baseband::kSlotDuration * 2,
-                           [this] { refill(); });
+    schedule_refill(baseband::kSlotDuration * 2);
+  }
+
+  void schedule_refill(sim::SimTime delay) {
+    device_.env().schedule_tagged(delay, kRefill, 0, [this] { refill(); },
+                                  /*owner=*/this);
   }
 
   baseband::Device& device_;

@@ -89,4 +89,50 @@ void L2capMux::on_user_data(std::uint8_t lt, std::uint8_t llid,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Checkpointing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::uint32_t kL2capTag = sim::snapshot_tag("L2CP");
+
+}  // namespace
+
+void L2capMux::save_state(sim::SnapshotWriter& w) const {
+  w.begin_section(kL2capTag);
+  sim::save_seq(w, reassembly_.size(), [&, it = reassembly_.begin()](
+                                           std::size_t) mutable {
+    w.u8(it->first);
+    const Reassembly& re = it->second;
+    w.b(re.active);
+    w.u16(re.expected);
+    w.u16(re.cid);
+    w.byte_vec(re.buffer);
+    ++it;
+  });
+  w.u64(sdus_sent_);
+  w.u64(sdus_delivered_);
+  w.u64(reassembly_errors_);
+  w.end_section();
+}
+
+void L2capMux::restore_state(sim::SnapshotReader& r) {
+  r.enter_section(kL2capTag);
+  reassembly_.clear();
+  sim::restore_seq(r, [&](std::size_t) {
+    const std::uint8_t lt = r.u8();
+    Reassembly re;
+    re.active = r.b();
+    re.expected = r.u16();
+    re.cid = r.u16();
+    re.buffer = r.byte_vec();
+    reassembly_[lt] = std::move(re);
+  });
+  sdus_sent_ = r.u64();
+  sdus_delivered_ = r.u64();
+  reassembly_errors_ = r.u64();
+  r.leave_section();
+}
+
 }  // namespace btsc::l2cap

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "lm/link_manager.hpp"
+#include "sim/snapshot.hpp"
 
 namespace btsc::l2cap {
 
@@ -27,7 +28,7 @@ using ChannelId = std::uint16_t;
 inline constexpr ChannelId kSignallingCid = 0x0001;
 inline constexpr ChannelId kFirstDynamicCid = 0x0040;
 
-class L2capMux {
+class L2capMux : public sim::Snapshotable {
  public:
   /// Called with every reassembled SDU.
   using SduHandler = std::function<void(std::uint8_t lt, ChannelId cid,
@@ -54,6 +55,10 @@ class L2capMux {
   /// Fragment payload size used for segmentation (from the link's
   /// preferred packet type at call time).
   std::size_t fragment_capacity() const;
+
+  // ---- checkpointing (no timers; reassembly state + counters) ----
+  void save_state(sim::SnapshotWriter& w) const override;
+  void restore_state(sim::SnapshotReader& r) override;
 
  private:
   void on_user_data(std::uint8_t lt, std::uint8_t llid,

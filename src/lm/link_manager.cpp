@@ -24,7 +24,10 @@ LinkManager::LinkManager(baseband::Device& device) : device_(device) {
     if (events_.connected_as_slave) events_.connected_as_slave(lt);
   };
   device_.lc().set_callbacks(cb);
+  device_.env().register_rearm(device_.name() + ".lm", this, this);
 }
+
+LinkManager::~LinkManager() { device_.env().unregister_rearm(this); }
 
 void LinkManager::send_pdu(std::uint8_t lt, const LmpPdu& pdu) {
   ++pdus_sent_;
@@ -109,10 +112,7 @@ void LinkManager::request_unpark(std::uint8_t pm_addr, std::uint8_t new_lt) {
   send_pdu(0, pdu);
   const auto beacon =
       device_.lc().config().beacon_interval_slots;
-  device_.env().schedule(kSlotDuration * (2 * beacon + 4),
-                         [this, pm_addr] {
-                           device_.lc().master_unpark(pm_addr);
-                         });
+  schedule_action(kSlotDuration * (2 * beacon + 4), kUnparkCommit, pm_addr);
 }
 
 void LinkManager::detach(std::uint8_t lt, std::uint8_t reason) {
@@ -123,17 +123,69 @@ void LinkManager::detach(std::uint8_t lt, std::uint8_t reason) {
   send_pdu(lt, pdu);
   if (is_master()) {
     // Remove the link once the ARQ has had time to deliver the PDU.
-    device_.env().schedule(kSlotDuration * 64, [this, lt] {
-      device_.lc().piconet().remove_slave(lt);
-    });
+    schedule_action(kSlotDuration * 64, kDetachRemove, lt);
   }
 }
 
-void LinkManager::at_instant(std::uint32_t instant, sim::UniqueFunction fn) {
+void LinkManager::schedule_action(sim::SimTime delay, Kind kind,
+                                  std::uint64_t payload) {
+  device_.env().schedule_tagged(delay, kind, payload,
+                                make_action(kind, payload), /*owner=*/this);
+}
+
+void LinkManager::at_instant(std::uint32_t instant, Kind kind,
+                             std::uint64_t payload) {
   const std::uint32_t now = now_slot();
   const std::uint32_t wait_slots =
       (instant - now) & (kClockMask >> 1);  // wrap-tolerant
-  device_.env().schedule(kSlotDuration * wait_slots, std::move(fn));
+  schedule_action(kSlotDuration * wait_slots, kind, payload);
+}
+
+sim::UniqueFunction LinkManager::make_action(Kind kind,
+                                             std::uint64_t payload) {
+  switch (kind) {
+    case kHoldApply:
+      return [this, payload] {
+        const auto lt = static_cast<std::uint8_t>(payload & 0xFF);
+        const auto interval = static_cast<std::uint32_t>(payload >> 8);
+        if (is_master()) {
+          device_.lc().master_set_hold(lt, interval);
+        } else {
+          device_.lc().slave_set_hold(interval);
+        }
+      };
+    case kParkApply:
+      return [this, payload] {
+        const auto lt = static_cast<std::uint8_t>(payload & 0xFF);
+        const auto pm_addr = static_cast<std::uint8_t>(payload >> 8);
+        if (is_master()) {
+          device_.lc().master_set_park(lt, pm_addr);
+        } else {
+          device_.lc().slave_set_park(pm_addr);
+        }
+      };
+    case kUnparkCommit:
+      return [this, payload] {
+        device_.lc().master_unpark(static_cast<std::uint8_t>(payload));
+      };
+    case kDetachRemove:
+      return [this, payload] {
+        device_.lc().piconet().remove_slave(
+            static_cast<std::uint8_t>(payload));
+      };
+  }
+  throw sim::SnapshotError("link manager: unknown timer kind " +
+                           std::to_string(kind));
+}
+
+void LinkManager::rearm_timer(std::uint16_t kind, std::uint64_t payload,
+                              sim::SimTime when) {
+  if (kind < kHoldApply || kind > kDetachRemove) {
+    throw sim::SnapshotError("link manager: bad timer kind " +
+                             std::to_string(kind));
+  }
+  schedule_action(when - device_.env().now(), static_cast<Kind>(kind),
+                  payload);
 }
 
 void LinkManager::accept(std::uint8_t lt, const LmpPdu& request) {
@@ -163,22 +215,12 @@ void LinkManager::apply_my_half(std::uint8_t lt, const LmpPdu& request) {
       }
       break;
     case LmpOpcode::kHoldReq:
-      at_instant(request.instant, [this, lt, request] {
-        if (is_master()) {
-          device_.lc().master_set_hold(lt, request.interval);
-        } else {
-          device_.lc().slave_set_hold(request.interval);
-        }
-      });
+      at_instant(request.instant, kHoldApply,
+                 lt | (static_cast<std::uint64_t>(request.interval) << 8));
       break;
     case LmpOpcode::kParkReq:
-      at_instant(request.instant, [this, lt, request] {
-        if (is_master()) {
-          device_.lc().master_set_park(lt, request.pm_addr);
-        } else {
-          device_.lc().slave_set_park(request.pm_addr);
-        }
-      });
+      at_instant(request.instant, kParkApply,
+                 lt | (static_cast<std::uint64_t>(request.pm_addr) << 8));
       break;
     default:
       break;
@@ -238,6 +280,56 @@ void LinkManager::handle_pdu(std::uint8_t lt, const LmpPdu& pdu) {
       if (events_.detached) events_.detached();
       break;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::uint32_t kLmTag = sim::snapshot_tag("LM  ");
+
+}  // namespace
+
+void LinkManager::save_state(sim::SnapshotWriter& w) const {
+  w.begin_section(kLmTag);
+  sim::save_seq(w, pending_.size(), [&, it = pending_.begin()](
+                                        std::size_t) mutable {
+    w.u8(it->first);
+    w.byte_vec(it->second.encode());
+    ++it;
+  });
+  sim::save_seq(w, setup_done_.size(), [&, it = setup_done_.begin()](
+                                           std::size_t) mutable {
+    w.u8(it->first);
+    w.b(it->second);
+    ++it;
+  });
+  w.u64(pdus_sent_);
+  w.u64(pdus_received_);
+  w.end_section();
+}
+
+void LinkManager::restore_state(sim::SnapshotReader& r) {
+  r.enter_section(kLmTag);
+  pending_.clear();
+  sim::restore_seq(r, [&](std::size_t) {
+    const std::uint8_t lt = r.u8();
+    const auto pdu = LmpPdu::decode(r.byte_vec());
+    if (!pdu) {
+      throw sim::SnapshotError("link manager: undecodable pending PDU");
+    }
+    pending_[lt] = *pdu;
+  });
+  setup_done_.clear();
+  sim::restore_seq(r, [&](std::size_t) {
+    const std::uint8_t lt = r.u8();
+    setup_done_[lt] = r.b();
+  });
+  pdus_sent_ = r.u64();
+  pdus_received_ = r.u64();
+  r.leave_section();
 }
 
 }  // namespace btsc::lm

@@ -18,6 +18,7 @@
 
 #include "baseband/device.hpp"
 #include "lm/lmp.hpp"
+#include "sim/snapshot.hpp"
 
 namespace btsc::lm {
 
@@ -25,7 +26,7 @@ namespace btsc::lm {
 /// instant; ample for the request/accept round trip under the ARQ.
 inline constexpr std::uint32_t kModeChangeLeadSlots = 80;
 
-class LinkManager {
+class LinkManager : public sim::Snapshotable, public sim::RearmHandler {
  public:
   struct Events {
     /// Non-LMP ACL payload (user data).
@@ -44,6 +45,7 @@ class LinkManager {
   };
 
   explicit LinkManager(baseband::Device& device);
+  ~LinkManager() override;
 
   void set_events(Events ev) { events_ = std::move(ev); }
 
@@ -78,7 +80,26 @@ class LinkManager {
   std::uint64_t pdus_sent() const { return pdus_sent_; }
   std::uint64_t pdus_received() const { return pdus_received_; }
 
+  // ---- checkpointing ----
+
+  /// Saves/restores the pending LMP transactions, setup flags and the
+  /// PDU counters. Pending timed actions (mode-change instants, the
+  /// unpark commit, the detach cleanup) are saved by the kernel as
+  /// descriptors and replayed through rearm_timer().
+  void save_state(sim::SnapshotWriter& w) const override;
+  void restore_state(sim::SnapshotReader& r) override;
+  void rearm_timer(std::uint16_t kind, std::uint64_t payload,
+                   sim::SimTime when) override;
+
  private:
+  /// Timer descriptor kinds; the payload packs the whole capture.
+  enum Kind : std::uint16_t {
+    kHoldApply = 1,     // payload: lt | interval << 8
+    kParkApply = 2,     // payload: lt | pm_addr << 8
+    kUnparkCommit = 3,  // payload: pm_addr
+    kDetachRemove = 4,  // payload: lt
+  };
+
   bool is_master() const { return device_.lc().is_master(); }
   void send_pdu(std::uint8_t lt, const LmpPdu& pdu);
   void on_acl(std::uint8_t lt, std::uint8_t llid,
@@ -86,8 +107,12 @@ class LinkManager {
   void handle_pdu(std::uint8_t lt, const LmpPdu& pdu);
   void apply_my_half(std::uint8_t lt, const LmpPdu& request);
   void accept(std::uint8_t lt, const LmpPdu& request);
-  /// Schedules `fn` at the piconet slot `instant` (CLK/2 units).
-  void at_instant(std::uint32_t instant, sim::UniqueFunction fn);
+  /// Schedules the (kind, payload) action after `delay` as a re-armable
+  /// descriptor timer owned by this link manager.
+  void schedule_action(sim::SimTime delay, Kind kind, std::uint64_t payload);
+  /// Same, at the piconet slot `instant` (CLK/2 units, wrap-tolerant).
+  void at_instant(std::uint32_t instant, Kind kind, std::uint64_t payload);
+  sim::UniqueFunction make_action(Kind kind, std::uint64_t payload);
   std::uint32_t now_slot() const {
     return (device_.lc().piconet_clock() & baseband::kClockMask) / 2;
   }

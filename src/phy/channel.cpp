@@ -271,6 +271,80 @@ void NoisyChannel::notify_reevaluate() {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Checkpointing
+// ---------------------------------------------------------------------------
+
+void NoisyChannel::save_state(sim::SnapshotWriter& w) const {
+  w.begin_section(sim::snapshot_tag("CHAN"));
+  w.f64(config_.ber);
+  w.b(config_.burst_transport);
+  sim::save_seq(w, ports_.size(), [&](std::size_t i) {
+    const Port& p = ports_[i];
+    w.u32(static_cast<std::uint32_t>(p.freq));
+    w.u8(static_cast<std::uint8_t>(p.value));
+    w.u32(static_cast<std::uint32_t>(p.rx_freq));
+  });
+  w.b(run_.active);
+  if (run_.active) {
+    w.u32(static_cast<std::uint32_t>(run_.port));
+    w.u32(static_cast<std::uint32_t>(run_.freq));
+    w.time(run_.start);
+    w.time(run_.period);
+  }
+  w.u64(bits_driven_);
+  w.u64(bits_flipped_);
+  w.u64(collision_samples_);
+  w.u64(bits_burst_);
+  w.u64(burst_fallbacks_);
+  w.b(bus_trace_ != nullptr);
+  if (bus_trace_ != nullptr) {
+    w.u8(static_cast<std::uint8_t>(bus_trace_->read()));
+  }
+  w.end_section();
+}
+
+void NoisyChannel::restore_state(sim::SnapshotReader& r) {
+  r.enter_section(sim::snapshot_tag("CHAN"));
+  config_.ber = r.f64();
+  config_.burst_transport = r.b();
+  std::size_t idx = 0;
+  defined_ports_ = 0;
+  sim::restore_seq(r, [&](std::size_t) {
+    if (idx >= ports_.size()) {
+      throw sim::SnapshotError("NoisyChannel: port count mismatch");
+    }
+    Port& p = ports_[idx++];
+    p.freq = static_cast<int>(r.u32());
+    p.value = static_cast<Logic4>(r.u8());
+    p.rx_freq = static_cast<int>(r.u32());
+    if (is_defined(p.value)) ++defined_ports_;
+  });
+  if (idx != ports_.size()) {
+    throw sim::SnapshotError("NoisyChannel: port count mismatch");
+  }
+  run_ = Run{};
+  if (r.b()) {
+    run_.active = true;
+    run_.port = static_cast<PortId>(r.u32());
+    run_.freq = static_cast<int>(r.u32());
+    run_.start = r.time();
+    run_.period = r.time();
+    // run_.bits stays null until the owning radio rebinds it.
+  }
+  bits_driven_ = r.u64();
+  bits_flipped_ = r.u64();
+  collision_samples_ = r.u64();
+  bits_burst_ = r.u64();
+  burst_fallbacks_ = r.u64();
+  const bool had_trace = r.b();
+  if (had_trace != (bus_trace_ != nullptr)) {
+    throw sim::SnapshotError("NoisyChannel: bus-trace presence mismatch");
+  }
+  if (had_trace) bus_trace_->restore_value(static_cast<Logic4>(r.u8()));
+  r.leave_section();
+}
+
 void NoisyChannel::refresh_trace() {
   if (!bus_trace_) return;
   Logic4 acc = Logic4::kZ;

@@ -41,6 +41,7 @@
 #include "sim/bitvector.hpp"
 #include "sim/module.hpp"
 #include "sim/signal.hpp"
+#include "sim/snapshot.hpp"
 #include "sim/time.hpp"
 
 namespace btsc::phy {
@@ -66,7 +67,7 @@ struct ChannelConfig {
 /// Port handle returned by attach(); identifies a device on the channel.
 using PortId = int;
 
-class NoisyChannel final : public sim::Module {
+class NoisyChannel final : public sim::Module, public sim::Snapshotable {
  public:
   /// Burst-transport callbacks implemented by the Radio that owns a
   /// port. Every medium transition is delivered in two phases so lazy
@@ -181,6 +182,25 @@ class NoisyChannel final : public sim::Module {
     sim::SimTime run_period;
   };
   RxMedium rx_medium(int freq) const;
+
+  // ---- checkpointing ----
+
+  /// Saves/restores the mutable channel state: BER and burst switch,
+  /// per-port drive/listening state, the active run's geometry and the
+  /// noise/collision counters. The run's packed bits are NOT part of the
+  /// stream -- they live in the transmitting Radio's tx buffer, and that
+  /// radio re-links them via rebind_run_bits() during its own restore
+  /// (the restore order guarantees it runs after the channel's).
+  void save_state(sim::SnapshotWriter& w) const override;
+  void restore_state(sim::SnapshotReader& r) override;
+
+  /// Re-links the active run's bit storage after a restore. Only valid
+  /// while `port` owns the restored run.
+  void rebind_run_bits(PortId port, const sim::BitVector* bits) {
+    assert(run_.active && run_.port == port && run_.bits == nullptr);
+    (void)port;
+    run_.bits = bits;
+  }
 
   // ---- diagnostics ----
   std::uint64_t bits_driven() const { return bits_driven_; }

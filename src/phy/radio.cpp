@@ -23,7 +23,10 @@ Radio::Radio(sim::Environment& env, std::string name, NoisyChannel& channel)
       enable_tx_(env, child_name("enable_tx_RF")),
       enable_rx_(env, child_name("enable_rx_RF")) {
   channel_.set_listener(port_, this);
+  env.register_rearm(this->name() + ".radio", this, this);
 }
+
+Radio::~Radio() { env().unregister_rearm(this); }
 
 // ---------------------------------------------------------------------------
 // Transmitter
@@ -51,8 +54,9 @@ void Radio::transmit(int freq, sim::BitVector bits,
     // timer replaces the per-bit chain. The channel calls
     // tx_burst_fallback() if the run degrades mid-flight.
     tx_burst_ = true;
-    tx_timer_ = env().schedule(kBitPeriod * tx_bits_.size(),
-                               [this] { tx_finish_burst(); });
+    tx_timer_ = env().schedule_tagged(kBitPeriod * tx_bits_.size(),
+                                      kTxFinishBurst, 0,
+                                      [this] { tx_finish_burst(); }, this);
     return;
   }
   tx_next_bit();
@@ -63,7 +67,8 @@ void Radio::tx_next_bit() {
     channel_.drive(port_, tx_freq_, from_bit(tx_bits_[tx_pos_]));
     ++bits_sent_;
     ++tx_pos_;
-    tx_timer_ = env().schedule(kBitPeriod, [this] { tx_next_bit(); });
+    tx_timer_ = env().schedule_tagged(kBitPeriod, kTxNextBit, 0,
+                                      [this] { tx_next_bit(); }, this);
     return;
   }
   // Past the last bit: release the medium and finish.
@@ -102,9 +107,9 @@ void Radio::tx_burst_fallback(std::size_t driven) {
   // of the chain releases the medium as usual).
   const sim::SimTime next = tx_start_ + kBitPeriod * driven;
   const sim::SimTime now = env().now();
-  tx_timer_ = env().schedule(
-      next > now ? next - now : sim::SimTime::zero(),
-      [this] { tx_next_bit(); });
+  tx_timer_ = env().schedule_tagged(
+      next > now ? next - now : sim::SimTime::zero(), kTxNextBit, 0,
+      [this] { tx_next_bit(); }, this);
 }
 
 void Radio::abort_tx() {
@@ -273,8 +278,8 @@ void Radio::rx_evaluate() {
     if (!env().pending(rx_timer_)) {
       const sim::SimTime next = sample_time(rx_consumed_);
       assert(next > env().now());
-      rx_timer_ =
-          env().schedule(next - env().now(), [this] { rx_sample(); });
+      rx_timer_ = env().schedule_tagged(next - env().now(), kRxSample, 0,
+                                        [this] { rx_sample(); }, this);
     }
     return;
   }
@@ -293,9 +298,9 @@ void Radio::rx_evaluate() {
           m.run_bits, static_cast<std::size_t>(idx), avail);
       if (q < avail) {
         rx_barrier_index_ = rx_consumed_ + q;
-        rx_timer_ = env().schedule(
-            sample_time(rx_barrier_index_) - env().now(),
-            [this] { rx_barrier(); });
+        rx_timer_ = env().schedule_tagged(
+            sample_time(rx_barrier_index_) - env().now(), kRxBarrier, 0,
+            [this] { rx_barrier(); }, this);
       }
     }
     return;
@@ -308,8 +313,9 @@ void Radio::rx_evaluate() {
       burst_sink_->quiet_prefix(nullptr, 0, kProbeHorizon);
   if (q < kProbeHorizon) {
     rx_barrier_index_ = rx_consumed_ + q;
-    rx_timer_ = env().schedule(sample_time(rx_barrier_index_) - env().now(),
-                               [this] { rx_barrier(); });
+    rx_timer_ = env().schedule_tagged(
+        sample_time(rx_barrier_index_) - env().now(), kRxBarrier, 0,
+        [this] { rx_barrier(); }, this);
   }
 }
 
@@ -396,6 +402,95 @@ void Radio::reset_activity() {
   rx_accum_ = sim::SimTime::zero();
   tx_since_ = env().now();
   rx_since_ = env().now();
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointing
+// ---------------------------------------------------------------------------
+
+void Radio::save_state(sim::SnapshotWriter& w) const {
+  if (tx_done_) {
+    throw sim::SnapshotError(
+        name() + ": transmission with a done-callback live at checkpoint");
+  }
+  w.begin_section(sim::snapshot_tag("RADI"));
+  w.b(tx_busy_);
+  w.b(tx_burst_);
+  w.u32(static_cast<std::uint32_t>(tx_freq_));
+  sim::save_bitvector(w, tx_bits_);
+  w.u64(tx_pos_);
+  w.time(tx_start_);
+  w.b(rx_on_);
+  w.u32(static_cast<std::uint32_t>(rx_freq_));
+  w.u8(static_cast<std::uint8_t>(rx_mode_));
+  w.time(rx_anchor_);
+  w.u64(rx_consumed_);
+  w.u64(rx_barrier_index_);
+  w.b(enable_tx_.read());
+  w.b(enable_rx_.read());
+  w.time(tx_accum_);
+  w.time(rx_accum_);
+  w.time(tx_since_);
+  w.time(rx_since_);
+  w.u64(bits_sent_);
+  w.u64(bits_sampled_);
+  w.end_section();
+}
+
+void Radio::restore_state(sim::SnapshotReader& r) {
+  r.enter_section(sim::snapshot_tag("RADI"));
+  tx_busy_ = r.b();
+  tx_burst_ = r.b();
+  tx_freq_ = static_cast<int>(r.u32());
+  sim::restore_bitvector(r, tx_bits_);
+  tx_pos_ = static_cast<std::size_t>(r.u64());
+  tx_start_ = r.time();
+  rx_on_ = r.b();
+  rx_freq_ = static_cast<int>(r.u32());
+  rx_mode_ = static_cast<RxMode>(r.u8());
+  rx_anchor_ = r.time();
+  rx_consumed_ = r.u64();
+  rx_barrier_index_ = r.u64();
+  enable_tx_.restore_value(r.b());
+  enable_rx_.restore_value(r.b());
+  tx_accum_ = r.time();
+  rx_accum_ = r.time();
+  tx_since_ = r.time();
+  rx_since_ = r.time();
+  bits_sent_ = r.u64();
+  bits_sampled_ = r.u64();
+  r.leave_section();
+  tx_done_ = nullptr;
+  tx_timer_ = sim::kInvalidTimer;  // re-set by rearm_timer
+  rx_timer_ = sim::kInvalidTimer;
+  // An in-flight burst run's packed bits live in this radio; the channel
+  // restored the run's geometry with a null bit pointer.
+  if (tx_burst_) channel_.rebind_run_bits(port_, &tx_bits_);
+}
+
+void Radio::rearm_timer(std::uint16_t kind, std::uint64_t /*payload*/,
+                        sim::SimTime when) {
+  const sim::SimTime delay = when - env().now();
+  switch (kind) {
+    case kTxNextBit:
+      tx_timer_ = env().schedule_tagged(delay, kTxNextBit, 0,
+                                        [this] { tx_next_bit(); }, this);
+      break;
+    case kTxFinishBurst:
+      tx_timer_ = env().schedule_tagged(delay, kTxFinishBurst, 0,
+                                        [this] { tx_finish_burst(); }, this);
+      break;
+    case kRxSample:
+      rx_timer_ = env().schedule_tagged(delay, kRxSample, 0,
+                                        [this] { rx_sample(); }, this);
+      break;
+    case kRxBarrier:
+      rx_timer_ = env().schedule_tagged(delay, kRxBarrier, 0,
+                                        [this] { rx_barrier(); }, this);
+      break;
+    default:
+      throw sim::SnapshotError(name() + ": unknown timer kind");
+  }
 }
 
 }  // namespace btsc::phy

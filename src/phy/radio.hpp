@@ -42,6 +42,7 @@
 #include "sim/bitvector.hpp"
 #include "sim/module.hpp"
 #include "sim/signal.hpp"
+#include "sim/snapshot.hpp"
 #include "sim/time.hpp"
 #include "sim/unique_function.hpp"
 
@@ -78,13 +79,17 @@ class BurstRxSink {
   ~BurstRxSink() = default;
 };
 
-class Radio final : public sim::Module, public NoisyChannel::Listener {
+class Radio final : public sim::Module,
+                    public NoisyChannel::Listener,
+                    public sim::Snapshotable,
+                    public sim::RearmHandler {
  public:
   /// Per-sample sink; allocation-free storage (finishes the PR 4
   /// std::function migration for the per-bit fallback path).
   using RxSink = sim::UniqueCallback<Logic4>;
 
   Radio(sim::Environment& env, std::string name, NoisyChannel& channel);
+  ~Radio() override;
 
   // ---- transmitter ----
 
@@ -152,6 +157,21 @@ class Radio final : public sim::Module, public NoisyChannel::Listener {
   void rx_reevaluate() override;
   void tx_burst_fallback(std::size_t driven) override;
 
+  // ---- checkpointing ----
+
+  /// Saves/restores TX/RX state, the enable lines, the activity
+  /// accumulators and the bit counters. A transmission with a `done`
+  /// callback in flight is not checkpointable (the closure cannot be
+  /// serialized; model code never passes one) -- save_state throws.
+  /// Restore re-links an in-flight burst run's bits into the channel.
+  void save_state(sim::SnapshotWriter& w) const override;
+  void restore_state(sim::SnapshotReader& r) override;
+
+  // RearmHandler: rebuilds the TX bit/end-of-burst and RX sample/barrier
+  /// timers (and their TimerId members) from descriptors.
+  void rearm_timer(std::uint16_t kind, std::uint64_t payload,
+                   sim::SimTime when) override;
+
  private:
   /// How the receiver is being fed.
   enum class RxMode : std::uint8_t {
@@ -159,6 +179,15 @@ class Radio final : public sim::Module, public NoisyChannel::Listener {
     kPerBit,  // classic one-event-per-sample chain
     kSkip,    // silent medium, lazy 'Z' runs (dormant between barriers)
     kRun,     // consuming a channel burst run lazily
+  };
+
+  /// Timer descriptor kinds (see Environment::schedule_tagged). All
+  /// radio timers capture only `this`; their state lives in members.
+  enum Kind : std::uint16_t {
+    kTxNextBit = 1,
+    kTxFinishBurst = 2,
+    kRxSample = 3,
+    kRxBarrier = 4,
   };
 
   void tx_next_bit();

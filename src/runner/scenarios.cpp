@@ -6,13 +6,16 @@
 #include <functional>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <stdexcept>
 
 #include "baseband/packet.hpp"
 #include "phy/channel.hpp"
+#include "core/coexistence.hpp"
 #include "core/experiments.hpp"
 #include "core/report.hpp"
+#include "core/system.hpp"
 #include "runner/sweep.hpp"
 #include "sim/environment.hpp"
 #include "stats/accumulator.hpp"
@@ -69,6 +72,56 @@ struct BackoffPoint {
   }
 };
 
+// ---- checkpoint/fork staging -----------------------------------------------
+
+/// A point's warm-up, frozen: the snapshot bytes plus the seed whose
+/// construction path produced the system (creation retries can perturb
+/// it), which the per-replication scaffold must replay.
+struct SystemImage {
+  std::vector<std::uint8_t> bytes;
+  std::uint64_t construction_seed = 0;
+};
+
+/// Lazily-built per-point warm-up images, shared by every replication of
+/// a point. The first replication to arrive builds the image; workers on
+/// the same point block on the call_once until it is ready. Slots are
+/// allocated up front and never moved (std::once_flag is immovable).
+class WarmupCache {
+ public:
+  explicit WarmupCache(std::size_t points) : slots_(points) {}
+
+  template <class Make>
+  const SystemImage& get(std::size_t point, Make&& make) {
+    Slot& s = slots_.at(point);
+    std::call_once(s.once, [&] { s.image = make(); });
+    return s.image;
+  }
+
+ private:
+  struct Slot {
+    std::once_flag once;
+    SystemImage image;
+  };
+  std::vector<Slot> slots_;
+};
+
+/// The base seed the sweep will actually run with (mirrors the
+/// resolution rule in sweep_points).
+std::uint64_t resolved_base_seed(const ScenarioInfo& info,
+                                 const ScenarioRequest& req) {
+  return req.base_seed != 0 ? req.base_seed : info.default_base_seed;
+}
+
+/// The warm-up stage's seed for one point: the same pure derivation the
+/// grid uses for replications, at the reserved warm-up index, so it can
+/// never collide with a measurement stream and is identical whether the
+/// warm-up is re-run cold or forked from a snapshot.
+std::uint64_t warm_seed_for(std::uint64_t base_seed, bool crn,
+                            std::size_t point_index) {
+  return sim::Rng::derive_stream_seed(base_seed, crn ? 0 : point_index,
+                                      core::kWarmupReplicationIndex);
+}
+
 /// Shared plumbing: resolves request defaults against the registry entry,
 /// trims the point list for reduced sweeps, runs and times the sweep, and
 /// stamps the result metadata. Each scenario formats its own rows from
@@ -97,6 +150,7 @@ std::vector<Sample> sweep_points(
   out.base_seed = opt.base_seed;
   out.quick = req.quick;
   out.max_points = req.max_points;
+  out.staged_warmup = req.warmup != WarmupMode::kLegacy;
 
   const auto t0 = std::chrono::steady_clock::now();
   const auto k0 = sim::Environment::global_scheduler_stats();
@@ -132,11 +186,40 @@ std::vector<double> creation_points(bool include_noiseless) {
   return bers;
 }
 
-SweepRunner<double, core::CreationPoint>::Body creation_body() {
-  return [](const double& ber, const Replication& rep) {
+SweepRunner<double, core::CreationPoint>::Body creation_body(
+    const ScenarioInfo& info, const ScenarioRequest& req,
+    std::size_t n_points) {
+  if (req.warmup == WarmupMode::kLegacy) {
+    return [](const double& ber, const Replication& rep) {
+      core::CreationPoint p;
+      p.ber = ber;
+      p.add(core::run_creation_replication(ber, rep.seed, 2048));
+      return p;
+    };
+  }
+  // Staged: construction (the warm-up) runs on the point's warm-up seed;
+  // the replication seed drives only the measurement stage, applied at
+  // the boundary by reseed + slave clock re-randomisation.
+  const std::uint64_t base = resolved_base_seed(info, req);
+  const bool crn = info.common_random_numbers;
+  const bool fork = req.warmup == WarmupMode::kFork;
+  auto cache = std::make_shared<WarmupCache>(n_points);
+  return [base, crn, fork, cache](const double& ber, const Replication& rep) {
+    const std::uint64_t warm = warm_seed_for(base, crn, rep.point_index);
+    std::unique_ptr<core::BluetoothSystem> sys;
+    if (fork) {
+      const SystemImage& img = cache->get(rep.point_index, [&] {
+        auto warm_sys = core::make_creation_system(ber, 2048, warm);
+        return SystemImage{warm_sys->save_snapshot(), warm};
+      });
+      sys = core::make_creation_system(ber, 2048, img.construction_seed);
+      sys->restore_snapshot(img.bytes);
+    } else {
+      sys = core::make_creation_system(ber, 2048, warm);
+    }
     core::CreationPoint p;
     p.ber = ber;
-    p.add(core::run_creation_replication(ber, rep.seed, 2048));
+    p.add(core::run_creation_from(*sys, rep.seed));
     return p;
   };
 }
@@ -149,7 +232,7 @@ SweepResult run_fig06(const ScenarioInfo& info, const ScenarioRequest& req) {
   out.columns = {"1/BER", "mean_TS", "ci95_TS", "runs_ok", "runs"};
   auto points = creation_points(true);
   const auto merged = sweep_points<double, core::CreationPoint>(
-      info, req, points, out, creation_body());
+      info, req, points, out, creation_body(info, req, points.size()));
   for (std::size_t i = 0; i < points.size(); ++i) {
     const auto& p = merged[i];
     out.rows.push_back({points[i] > 0 ? 1.0 / points[i] : 0.0,
@@ -170,7 +253,7 @@ SweepResult run_fig07(const ScenarioInfo& info, const ScenarioRequest& req) {
   out.columns = {"1/BER", "mean_TS", "ci95_TS", "runs_ok", "attempted"};
   auto points = creation_points(true);
   const auto merged = sweep_points<double, core::CreationPoint>(
-      info, req, points, out, creation_body());
+      info, req, points, out, creation_body(info, req, points.size()));
   for (std::size_t i = 0; i < points.size(); ++i) {
     const auto& p = merged[i];
     out.rows.push_back({points[i] > 0 ? 1.0 / points[i] : 0.0,
@@ -191,7 +274,7 @@ SweepResult run_fig08(const ScenarioInfo& info, const ScenarioRequest& req) {
                  "page_fail", "page_lo",  "page_hi"};
   auto points = creation_points(false);
   const auto merged = sweep_points<double, core::CreationPoint>(
-      info, req, points, out, creation_body());
+      info, req, points, out, creation_body(info, req, points.size()));
   for (std::size_t i = 0; i < points.size(); ++i) {
     const auto& p = merged[i];
     const auto [ilo, ihi] = p.inquiry_ok.wilson95();
@@ -217,13 +300,35 @@ SweepResult run_fig10(const ScenarioInfo& info, const ScenarioRequest& req) {
   std::vector<double> points = {0.0,    0.0025, 0.005, 0.0075, 0.01,
                                 0.0125, 0.015,  0.0175, 0.02};
   const std::uint32_t measure_slots = req.quick ? 8000 : 40000;
+  const std::uint64_t base = resolved_base_seed(info, req);
+  const bool crn = info.common_random_numbers;
+  const WarmupMode mode = req.warmup;
+  auto cache = std::make_shared<WarmupCache>(points.size());
   const auto merged = sweep_points<double, ActivitySample>(
       info, req, points, out,
-      [measure_slots](const double& duty, const Replication& rep) {
+      [measure_slots, base, crn, mode, cache](const double& duty,
+                                              const Replication& rep) {
         core::MasterActivityConfig cfg;
         cfg.seed = rep.seed;
         cfg.measure_slots = measure_slots;
-        const auto row = core::run_master_activity(duty, cfg);
+        core::MasterActivityRow row;
+        if (mode == WarmupMode::kLegacy) {
+          row = core::run_master_activity(duty, cfg);
+        } else if (mode == WarmupMode::kCold) {
+          auto w = core::master_activity_warmup(
+              warm_seed_for(base, crn, rep.point_index));
+          row = core::run_master_activity_from(*w.system, duty, cfg);
+        } else {
+          const SystemImage& img = cache->get(rep.point_index, [&] {
+            auto w = core::master_activity_warmup(
+                warm_seed_for(base, crn, rep.point_index));
+            return SystemImage{w.system->save_snapshot(),
+                               w.construction_seed};
+          });
+          auto sys = core::master_activity_scaffold(img.construction_seed);
+          sys->restore_snapshot(img.bytes);
+          row = core::run_master_activity_from(*sys, duty, cfg);
+        }
         ActivitySample s;
         s.tx.add(row.master.tx_fraction);
         s.rx.add(row.master.rx_fraction);
@@ -255,7 +360,7 @@ SweepResult run_baseline_vs_mode(
     std::vector<std::string> columns,
     std::vector<std::optional<std::uint32_t>> points, std::string note,
     const std::function<double(const std::optional<std::uint32_t>&,
-                               std::uint64_t seed, bool quick)>& measure) {
+                               const Replication& rep, bool quick)>& measure) {
   SweepResult out;
   out.title = std::move(title);
   out.columns = std::move(columns);
@@ -268,7 +373,7 @@ SweepResult run_baseline_vs_mode(
           [&measure, quick](const std::optional<std::uint32_t>& mode,
                             const Replication& rep) {
             ScalarSample s;
-            s.value.add(measure(mode, rep.seed, quick));
+            s.value.add(measure(mode, rep, quick));
             return s;
           });
   out.max_points = req.max_points;  // report the user's value, not the bump
@@ -282,6 +387,10 @@ SweepResult run_baseline_vs_mode(
 }
 
 SweepResult run_fig11(const ScenarioInfo& info, const ScenarioRequest& req) {
+  const std::uint64_t base = resolved_base_seed(info, req);
+  const bool crn = info.common_random_numbers;
+  const WarmupMode mode = req.warmup;
+  auto cache = std::make_shared<WarmupCache>(9);  // baseline + 8 Tsniff
   return run_baseline_vs_mode(
       info, req,
       "Fig. 11: slave RF activity vs Tsniff, active vs sniff (master data "
@@ -290,16 +399,37 @@ SweepResult run_fig11(const ScenarioInfo& info, const ScenarioRequest& req) {
       {std::nullopt, 10u, 20u, 30u, 40u, 50u, 60u, 80u, 100u},
       "active slave: slot-start carrier sensing + data reception + ACKs + "
       "poll traffic",
-      [](const std::optional<std::uint32_t>& tsniff, std::uint64_t seed,
-         bool quick) {
+      [base, crn, mode, cache](const std::optional<std::uint32_t>& tsniff,
+                               const Replication& rep, bool quick) {
         core::SniffActivityConfig cfg;
-        cfg.seed = seed;
+        cfg.seed = rep.seed;
         cfg.measure_slots = quick ? 8000 : 30000;
-        return core::run_sniff_activity(tsniff, cfg).slave.total();
+        if (mode == WarmupMode::kLegacy) {
+          return core::run_sniff_activity(tsniff, cfg).slave.total();
+        }
+        if (mode == WarmupMode::kCold) {
+          auto w = core::sniff_activity_warmup(
+              warm_seed_for(base, crn, rep.point_index));
+          return core::run_sniff_activity_from(*w.system, tsniff, cfg)
+              .slave.total();
+        }
+        const SystemImage& img = cache->get(rep.point_index, [&] {
+          auto w = core::sniff_activity_warmup(
+              warm_seed_for(base, crn, rep.point_index));
+          return SystemImage{w.system->save_snapshot(), w.construction_seed};
+        });
+        auto sys = core::sniff_activity_scaffold(img.construction_seed);
+        sys->restore_snapshot(img.bytes);
+        return core::run_sniff_activity_from(*sys, tsniff, cfg)
+            .slave.total();
       });
 }
 
 SweepResult run_fig12(const ScenarioInfo& info, const ScenarioRequest& req) {
+  const std::uint64_t base = resolved_base_seed(info, req);
+  const bool crn = info.common_random_numbers;
+  const WarmupMode mode = req.warmup;
+  auto cache = std::make_shared<WarmupCache>(10);  // baseline + 9 Thold
   return run_baseline_vs_mode(
       info, req,
       "Fig. 12: slave RF activity vs Thold, hold vs active (paper: active "
@@ -308,12 +438,28 @@ SweepResult run_fig12(const ScenarioInfo& info, const ScenarioRequest& req) {
       {std::nullopt, 40u, 80u, 120u, 160u, 200u, 400u, 600u, 800u, 1000u},
       "hold cycles repeat back to back with an 8-slot gap; the resync cost "
       "is ~2.5 slots of full listening per cycle",
-      [](const std::optional<std::uint32_t>& thold, std::uint64_t seed,
-         bool quick) {
+      [base, crn, mode, cache](const std::optional<std::uint32_t>& thold,
+                               const Replication& rep, bool quick) {
         core::HoldActivityConfig cfg;
-        cfg.seed = seed;
+        cfg.seed = rep.seed;
         cfg.min_measure_slots = quick ? 8000 : 30000;
-        return core::run_hold_activity(thold, cfg).slave.total();
+        if (mode == WarmupMode::kLegacy) {
+          return core::run_hold_activity(thold, cfg).slave.total();
+        }
+        if (mode == WarmupMode::kCold) {
+          auto w = core::hold_activity_warmup(
+              warm_seed_for(base, crn, rep.point_index));
+          return core::run_hold_activity_from(*w.system, thold, cfg)
+              .slave.total();
+        }
+        const SystemImage& img = cache->get(rep.point_index, [&] {
+          auto w = core::hold_activity_warmup(
+              warm_seed_for(base, crn, rep.point_index));
+          return SystemImage{w.system->save_snapshot(), w.construction_seed};
+        });
+        auto sys = core::hold_activity_scaffold(img.construction_seed);
+        sys->restore_snapshot(img.bytes);
+        return core::run_hold_activity_from(*sys, thold, cfg).slave.total();
       });
 }
 
@@ -343,13 +489,37 @@ SweepResult run_throughput_scenario(const ScenarioInfo& info,
     for (PacketType t : types) points.push_back({t, ber});
   }
   const std::uint32_t measure_slots = req.quick ? 3000 : 8000;
+  const std::uint64_t base = resolved_base_seed(info, req);
+  const bool crn = info.common_random_numbers;
+  const WarmupMode mode = req.warmup;
+  // Images are keyed per (type, BER) cell: even under common random
+  // numbers the warm-up system differs by packet type.
+  auto cache = std::make_shared<WarmupCache>(points.size());
   const auto merged = sweep_points<ThroughputPoint, ScalarSample>(
       info, req, points, out,
-      [measure_slots](const ThroughputPoint& p, const Replication& rep) {
+      [measure_slots, base, crn, mode, cache](const ThroughputPoint& p,
+                                              const Replication& rep) {
         core::ThroughputConfig cfg;
         cfg.seed = rep.seed;
         cfg.measure_slots = measure_slots;
-        const auto row = core::run_throughput(p.type, p.ber, cfg);
+        core::ThroughputRow row;
+        if (mode == WarmupMode::kLegacy) {
+          row = core::run_throughput(p.type, p.ber, cfg);
+        } else if (mode == WarmupMode::kCold) {
+          auto w = core::throughput_warmup(
+              p.type, warm_seed_for(base, crn, rep.point_index));
+          row = core::run_throughput_from(*w.system, p.type, p.ber, cfg);
+        } else {
+          const SystemImage& img = cache->get(rep.point_index, [&] {
+            auto w = core::throughput_warmup(
+                p.type, warm_seed_for(base, crn, rep.point_index));
+            return SystemImage{w.system->save_snapshot(),
+                               w.construction_seed};
+          });
+          auto sys = core::throughput_scaffold(p.type, img.construction_seed);
+          sys->restore_snapshot(img.bytes);
+          row = core::run_throughput_from(*sys, p.type, p.ber, cfg);
+        }
         ScalarSample s;
         s.value.add(row.goodput_kbps);
         return s;
@@ -389,13 +559,38 @@ SweepResult run_coexistence_scenario(const ScenarioInfo& info,
   out.columns = {"nbr_period", "goodput_kbps", "retx", "collisions"};
   std::vector<std::uint32_t> points = {0, 64, 16, 8, 4, 2};
   const std::uint32_t measure_slots = req.quick ? 8000 : 24000;
+  const std::uint64_t base = resolved_base_seed(info, req);
+  const bool crn = info.common_random_numbers;
+  const WarmupMode mode = req.warmup;
+  auto cache = std::make_shared<WarmupCache>(points.size());
   const auto merged = sweep_points<std::uint32_t, CoexSample>(
       info, req, points, out,
-      [measure_slots](const std::uint32_t& period, const Replication& rep) {
+      [measure_slots, base, crn, mode, cache](const std::uint32_t& period,
+                                              const Replication& rep) {
         core::CoexistenceRunConfig cfg;
         cfg.seed = rep.seed;
         cfg.measure_slots = measure_slots;
-        const auto row = core::run_coexistence(period, cfg);
+        core::CoexistenceRow row;
+        if (mode == WarmupMode::kLegacy) {
+          row = core::run_coexistence(period, cfg);
+        } else if (mode == WarmupMode::kCold) {
+          auto net = core::coexistence_warmup(
+              warm_seed_for(base, crn, rep.point_index));
+          row = core::run_coexistence_from(*net, period, cfg);
+        } else {
+          const std::uint64_t warm =
+              warm_seed_for(base, crn, rep.point_index);
+          const SystemImage& img = cache->get(rep.point_index, [&] {
+            // Both piconets connect via the environment RNG, so the
+            // construction seed is the warm-up seed itself (no retry
+            // reconstruction as in the single-piconet scenarios).
+            return SystemImage{core::coexistence_warmup(warm)->save_snapshot(),
+                               warm};
+          });
+          auto net = core::coexistence_scaffold(img.construction_seed);
+          net->restore_snapshot(img.bytes);
+          row = core::run_coexistence_from(*net, period, cfg);
+        }
         CoexSample s;
         s.goodput.add(row.goodput_kbps);
         s.retx.add(static_cast<double>(row.retransmissions));
@@ -423,10 +618,33 @@ SweepResult run_backoff_scenario(const ScenarioInfo& info,
       "probability (noiseless, 1.28 s timeout; spec ceiling is 1023)";
   out.columns = {"backoff_max", "mean_TS", "ok", "runs"};
   std::vector<std::uint32_t> points = {0u, 127u, 255u, 511u, 1023u, 2047u};
+  const std::uint64_t base = resolved_base_seed(info, req);
+  const bool crn = info.common_random_numbers;
+  const WarmupMode mode = req.warmup;
+  auto cache = std::make_shared<WarmupCache>(points.size());
   const auto merged = sweep_points<std::uint32_t, BackoffPoint>(
       info, req, points, out,
-      [](const std::uint32_t& backoff, const Replication& rep) {
-        const auto r = core::run_backoff_replication(backoff, rep.seed);
+      [base, crn, mode, cache](const std::uint32_t& backoff,
+                               const Replication& rep) {
+        core::BackoffSample r;
+        if (mode == WarmupMode::kLegacy) {
+          r = core::run_backoff_replication(backoff, rep.seed);
+        } else if (mode == WarmupMode::kCold) {
+          auto sys = core::make_backoff_system(
+              backoff, warm_seed_for(base, crn, rep.point_index));
+          r = core::run_backoff_from(*sys, rep.seed);
+        } else {
+          const std::uint64_t warm =
+              warm_seed_for(base, crn, rep.point_index);
+          const SystemImage& img = cache->get(rep.point_index, [&] {
+            return SystemImage{
+                core::make_backoff_system(backoff, warm)->save_snapshot(),
+                warm};
+          });
+          auto sys = core::make_backoff_system(backoff, img.construction_seed);
+          sys->restore_snapshot(img.bytes);
+          r = core::run_backoff_from(*sys, rep.seed);
+        }
         BackoffPoint p;
         p.ok.add(r.success);
         if (r.success) p.slots.add(static_cast<double>(r.slots));
@@ -534,6 +752,9 @@ void write_result(const SweepResult& result, core::Reporter& reporter) {
   reporter.meta("base_seed", std::to_string(result.base_seed));
   reporter.meta("quick", result.quick ? "1" : "0");
   reporter.meta("max_points", std::to_string(result.max_points));
+  // "staged" covers both cold and forked runs: the two are bitwise
+  // equivalent by contract, so their artifacts must not differ here.
+  reporter.meta("warmup", result.staged_warmup ? "staged" : "legacy");
   // Kernel timed-queue diagnostics: sums/maxima of per-replication
   // deterministic counters, so they are thread-count invariant too.
   reporter.meta("kernel_timers_scheduled",
@@ -585,6 +806,14 @@ int run_scenario_main(const std::string& id, int argc, char** argv) {
   req.quick = args.quick;
   req.base_seed = args.base_seed;
   req.max_points = args.max_points;
+  // --checkpoint-warmup forks replications from per-point snapshots;
+  // --cold-warmup is its re-run-everything reference (and escape hatch).
+  // Both flags given = cold wins: it is the semantics fork must match.
+  if (args.cold_warmup) {
+    req.warmup = WarmupMode::kCold;
+  } else if (args.checkpoint_warmup) {
+    req.warmup = WarmupMode::kFork;
+  }
 
   SweepResult result;
   try {

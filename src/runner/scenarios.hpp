@@ -16,6 +16,20 @@ class Reporter;
 
 namespace btsc::runner {
 
+/// How each replication reaches its measurement boundary.
+///
+///  * kLegacy — the historical single-stage replication: construction
+///    and measurement draw from one stream seeded by the replication
+///    seed. Default; byte-identical to every pre-checkpoint artifact.
+///  * kCold — the staged split: a warm-up stage driven by a dedicated
+///    per-point warm-up seed is re-run for every replication, then the
+///    environment RNG is reseeded with the replication seed at the
+///    boundary. The reference semantics of kFork.
+///  * kFork — the warm-up runs ONCE per point; every replication
+///    restores its in-memory snapshot and reseeds. Produces samples
+///    bitwise identical to kCold (the forked-vs-cold CI gate).
+enum class WarmupMode { kLegacy, kCold, kFork };
+
 /// Caller-side knobs of one scenario run. Zero-valued fields mean "use
 /// the scenario's default".
 struct ScenarioRequest {
@@ -31,6 +45,10 @@ struct ScenarioRequest {
   /// Keep only the first N parameter points (reduced sweeps for tests
   /// and CI); 0 = all points.
   int max_points = 0;
+  /// Replication staging (see WarmupMode). kLegacy keeps the historical
+  /// sample streams; kCold/kFork share a per-point warm-up seed and are
+  /// bitwise equivalent to each other, not to kLegacy.
+  WarmupMode warmup = WarmupMode::kLegacy;
 };
 
 /// A completed sweep: a titled table plus the metadata needed to
@@ -60,6 +78,12 @@ struct SweepResult {
   /// recorded in metadata so a truncated artifact is distinguishable
   /// from a complete run.
   int max_points = 0;
+  /// Whether the replications were staged (kCold or kFork): staged runs
+  /// draw from different sample streams than legacy ones, so this is
+  /// result-defining and recorded in metadata. Cold vs fork is NOT
+  /// recorded -- the two are bitwise equivalent by contract, so their
+  /// artifacts must stay byte-identical (like the thread count).
+  bool staged_warmup = false;
   /// Wall-clock duration of the sweep (excludes reporting).
   double wall_seconds = 0.0;
 
@@ -127,8 +151,9 @@ void write_result(const SweepResult& result, core::Reporter& reporter);
 
 /// Complete main() body for a figure bench: parses the shared BenchArgs
 /// flags (--seeds/--replications, --quick, --threads, --csv/--json,
-/// --out, --base-seed, --max-points), runs `id`, and writes the result to
-/// stdout or the requested file. Returns the process exit code.
+/// --out, --base-seed, --max-points, --checkpoint-warmup, --cold-warmup),
+/// runs `id`, and writes the result to stdout or the requested file.
+/// Returns the process exit code.
 int run_scenario_main(const std::string& id, int argc, char** argv);
 
 }  // namespace btsc::runner

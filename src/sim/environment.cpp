@@ -1,9 +1,11 @@
 #include "sim/environment.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 
 #include "sim/signal.hpp"
+#include "sim/snapshot.hpp"
 
 namespace btsc::sim {
 
@@ -151,6 +153,130 @@ void Environment::run_until(SimTime until) {
     settle();
   }
   if (now_ < until) now_ = until;
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint / fork
+// ---------------------------------------------------------------------------
+
+void Environment::require_settled(const char* verb) const {
+  if (dispatching_ || !next_runnable_.empty() || !update_queue_.empty()) {
+    throw SnapshotError(std::string("environment: cannot ") + verb +
+                        " at an unsettled instant (delta work pending)");
+  }
+}
+
+const Environment::RearmEntry* Environment::find_rearm(
+    const void* owner) const {
+  for (const RearmEntry& e : rearm_entries_) {
+    if (e.owner == owner) return &e;
+  }
+  return nullptr;
+}
+
+const Environment::RearmEntry* Environment::find_rearm(
+    const std::string& name) const {
+  for (const RearmEntry& e : rearm_entries_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+void Environment::register_rearm(std::string name, const void* owner,
+                                 RearmHandler* handler) {
+  assert(owner != nullptr && handler != nullptr);
+  if (find_rearm(owner) != nullptr || find_rearm(name) != nullptr) {
+    throw SnapshotError("environment: duplicate rearm registration: " + name);
+  }
+  rearm_entries_.push_back({std::move(name), owner, handler});
+}
+
+void Environment::unregister_rearm(const void* owner) {
+  std::erase_if(rearm_entries_,
+                [owner](const RearmEntry& e) { return e.owner == owner; });
+}
+
+void Environment::save_state(SnapshotWriter& w) const {
+  require_settled("checkpoint");
+  struct Desc {
+    const std::string* name;
+    std::uint16_t kind;
+    std::uint64_t payload;
+    SimTime when;
+    std::uint64_t seq;
+  };
+  std::vector<Desc> descs;
+  descs.reserve(wheel_.live());
+  wheel_.for_each_live([&](const void* owner, std::uint16_t kind,
+                           std::uint64_t payload, SimTime when,
+                           std::uint64_t seq, bool is_event) {
+    if (is_event) {
+      throw SnapshotError(
+          "environment: timed event notification live at checkpoint");
+    }
+    if (kind == 0) {
+      throw SnapshotError(
+          "environment: opaque (untagged) timer live at checkpoint");
+    }
+    const RearmEntry* e = find_rearm(owner);
+    if (e == nullptr) {
+      throw SnapshotError(
+          "environment: live timer owner has no rearm registration");
+    }
+    descs.push_back({&e->name, kind, payload, when, seq});
+  });
+  std::sort(descs.begin(), descs.end(),
+            [](const Desc& a, const Desc& b) { return a.seq < b.seq; });
+  w.begin_section(snapshot_tag("ENV "));
+  w.time(now_);
+  for (const std::uint64_t word : rng_.state()) w.u64(word);
+  w.u32(static_cast<std::uint32_t>(descs.size()));
+  for (const Desc& d : descs) {
+    w.str(*d.name);
+    w.u16(d.kind);
+    w.u64(d.payload);
+    w.time(d.when);
+    w.u64(d.seq);
+  }
+  w.u64(wheel_.next_seq());
+  w.end_section();
+}
+
+void Environment::restore_state(SnapshotReader& r) {
+  require_settled("restore");
+  r.enter_section(snapshot_tag("ENV "));
+  now_ = r.time();
+  std::array<std::uint64_t, 4> s;
+  for (std::uint64_t& word : s) word = r.u64();
+  rng_.set_state(s);
+  // Construction-time timers of the fresh scaffold are superseded by the
+  // saved descriptors; replaying each at its saved seq reproduces the
+  // checkpointed (when, seq) dispatch total order exactly.
+  wheel_.clear();
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::string name = r.str();
+    const std::uint16_t kind = r.u16();
+    const std::uint64_t payload = r.u64();
+    const SimTime when = r.time();
+    const std::uint64_t seq = r.u64();
+    if (when < now_) throw SnapshotError("environment: timer in the past");
+    const RearmEntry* e = find_rearm(name);
+    if (e == nullptr) {
+      throw SnapshotError("environment: no rearm registration for \"" + name +
+                          "\" in the restored scenario");
+    }
+    wheel_.set_next_seq(seq);
+    e->handler->rearm_timer(kind, payload, when);
+    if (wheel_.next_seq() != seq + 1) {
+      throw SnapshotError(
+          "environment: rearm handler for \"" + name +
+          "\" did not schedule exactly one timer (kind " +
+          std::to_string(kind) + ")");
+    }
+  }
+  wheel_.set_next_seq(r.u64());
+  r.leave_section();
 }
 
 // ---------------------------------------------------------------------------

@@ -57,7 +57,10 @@
 
 namespace btsc::sim {
 
+class RearmHandler;
 class SignalBase;
+class SnapshotReader;
+class SnapshotWriter;
 class Tracer;
 
 class Environment {
@@ -106,6 +109,24 @@ class Environment {
                                     owner);
   }
 
+  /// Schedules a re-armable one-shot callback at now()+delay. Identical
+  /// dispatch semantics to schedule(), but the timer additionally
+  /// carries a (kind, payload) descriptor (kind != 0) under an owner
+  /// that has a RearmHandler registered (register_rearm): save_state()
+  /// serializes the timer as that descriptor instead of its closure,
+  /// and restore_state() re-creates it through the handler. Every timer
+  /// that can be live at a checkpoint boundary must be scheduled
+  /// through this path -- save_state() throws on plain schedule()d
+  /// timers.
+  template <typename F>
+  TimerId schedule_tagged(SimTime delay, std::uint16_t kind,
+                          std::uint64_t payload, F&& fn, const void* owner) {
+    assert(owner != nullptr);
+    assert(kind != 0);
+    return wheel_.schedule_callback(now_, now_ + delay, std::forward<F>(fn),
+                                    owner, kind, payload);
+  }
+
   /// Cancels a previously scheduled callback: removes its queue entry in
   /// O(1) (wheel bucket) or O(log n) (overflow heap). Safe (and a no-op)
   /// after the callback fired or for kInvalidTimer -- slot generations
@@ -152,6 +173,35 @@ class Environment {
   /// on this distinction.
   bool dispatching() const { return dispatching_; }
 
+  // ---- checkpoint / fork ----
+
+  /// Registers `owner` as a re-armable timer source under a stable
+  /// hierarchical name (its module name). The name -- not the pointer --
+  /// is what snapshots carry, so a restored twin of the scenario maps
+  /// saved descriptors back to its own instances. Throws SnapshotError
+  /// on a duplicate name or owner. The handler must stay valid until
+  /// unregister_rearm(owner).
+  void register_rearm(std::string name, const void* owner,
+                      RearmHandler* handler);
+  void unregister_rearm(const void* owner);
+
+  /// Serializes the kernel state: now, the RNG stream, and every
+  /// pending timer as a re-armable (owner-name, kind, payload, when,
+  /// seq) descriptor, in seq order, plus the seq allocator. Must be
+  /// called at a settled instant (between run() calls); throws
+  /// SnapshotError if delta work is pending, or if any live timer is an
+  /// event notification, is untagged (kind 0), or has no registered
+  /// owner.
+  void save_state(SnapshotWriter& w) const;
+
+  /// Counterpart of save_state() into a freshly constructed twin:
+  /// restores now and the RNG, drops every construction-time timer, and
+  /// replays the saved descriptors through their owners' RearmHandlers
+  /// in saved-seq order, reproducing the exact (when, seq) dispatch
+  /// total order of the checkpointed run. Module state must already be
+  /// restored when this runs (handlers read it to rebuild callbacks).
+  void restore_state(SnapshotReader& r);
+
   // ---- diagnostics ----
   std::uint64_t delta_count() const { return delta_count_; }
   std::uint64_t process_activations() const { return activations_; }
@@ -197,12 +247,22 @@ class Environment {
   void commit_updates();
   void trigger(Event& ev);
   static std::uint64_t heap_depth(std::uint64_t n);
+  void require_settled(const char* verb) const;
+
+  struct RearmEntry {
+    std::string name;
+    const void* owner;
+    RearmHandler* handler;
+  };
+  const RearmEntry* find_rearm(const void* owner) const;
+  const RearmEntry* find_rearm(const std::string& name) const;
 
   SimTime now_ = SimTime::zero();
   std::vector<Process*> runnable_;
   std::vector<Process*> next_runnable_;
   std::vector<SignalBase*> update_queue_;
   TimerWheel wheel_;
+  std::vector<RearmEntry> rearm_entries_;
   std::vector<std::unique_ptr<Process>> processes_;
   Rng rng_;
   Tracer* tracer_ = nullptr;

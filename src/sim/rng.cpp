@@ -68,6 +68,13 @@ std::uint64_t Rng::derive_stream_seed(std::uint64_t base, std::uint64_t stream,
   return splitmix64(x);
 }
 
+void Rng::set_state(const std::array<std::uint64_t, 4>& s) {
+  s_ = s;
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) {
+    reseed(0x9E3779B97F4A7C15ull);
+  }
+}
+
 Rng Rng::split() {
   Rng child;
   child.s_ = {next(), next(), next(), next()};

@@ -55,6 +55,12 @@ class Rng {
                                           std::uint64_t stream,
                                           std::uint64_t index);
 
+  /// Raw xoshiro256** state, for checkpointing. set_state() resumes the
+  /// stream exactly where state() captured it (an all-zero state is
+  /// invalid and rejected by re-seeding with the fixed default).
+  const std::array<std::uint64_t, 4>& state() const { return s_; }
+  void set_state(const std::array<std::uint64_t, 4>& s);
+
  private:
   std::array<std::uint64_t, 4> s_{};
 };

@@ -98,6 +98,16 @@ class Signal : public SignalBase {
 
   const T& read() const { return cur_; }
 
+  /// Checkpoint restore: overwrites the committed and pending value in
+  /// place, with no delta cycle, change notification, or trace record.
+  /// Only valid at a settled instant (no update pending), which the
+  /// snapshot layer guarantees.
+  void restore_value(const T& v) {
+    cur_ = v;
+    next_ = v;
+    update_pending_ = false;
+  }
+
   void write(const T& v) {
     next_ = v;
     if (!update_pending_) {

@@ -1,0 +1,282 @@
+// Snapshot: versioned tagged byte streams for checkpointing a simulation.
+//
+// A snapshot is the serialized MUTABLE state of a simulation at a settled
+// instant (between run() calls, no delta work pending). Restoring never
+// rebuilds the object graph: the caller constructs the scenario through
+// its ordinary deterministic construction path and then overwrites every
+// mutable field from the byte stream. Pointers therefore never enter a
+// snapshot -- connections between modules are structural and re-created
+// by construction; pending timers are saved as re-armable descriptors
+// (see Environment::save_state) rather than as closures.
+//
+// Stream format
+// -------------
+//   "BTSC" magic, u32 version, then a sequence of nested sections. Each
+//   section is a u32 tag (fourcc, e.g. "ENV ") + u32 byte length + body.
+//   All integers are little-endian and fixed-width, doubles travel as
+//   their IEEE-754 bit pattern, so a snapshot is byte-stable across runs
+//   and platforms of the same endianness class -- the property the
+//   round-trip golden tests (save -> restore -> save, byte-equal) and the
+//   forked-vs-cold sweep gates assert.
+//
+// Error model: SnapshotReader throws SnapshotError on any mismatch (bad
+// magic/version/tag, short read, trailing bytes in a section). A snapshot
+// is only ever read by the build that wrote it (in-memory fork images),
+// so there is no cross-version migration -- the version bump is a guard,
+// not a compatibility scheme.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/bitvector.hpp"
+#include "sim/time.hpp"
+
+namespace btsc::sim {
+
+inline constexpr std::uint32_t kSnapshotMagic = 0x42545343u;    // "BTSC"
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// Builds a section tag from a 4-character literal ("ENV ").
+constexpr std::uint32_t snapshot_tag(const char (&s)[5]) {
+  return static_cast<std::uint32_t>(s[0]) |
+         (static_cast<std::uint32_t>(s[1]) << 8) |
+         (static_cast<std::uint32_t>(s[2]) << 16) |
+         (static_cast<std::uint32_t>(s[3]) << 24);
+}
+
+class SnapshotError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Serializes state into a tagged byte stream.
+class SnapshotWriter {
+ public:
+  SnapshotWriter() {
+    buf_.reserve(256);  // header + small streams without regrowth
+    u32(kSnapshotMagic);
+    u32(kSnapshotVersion);
+  }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { raw(&v, 2); }
+  void u32(std::uint32_t v) { raw(&v, 4); }
+  void u64(std::uint64_t v) { raw(&v, 8); }
+  void b(bool v) { u8(v ? 1 : 0); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void time(SimTime t) { u64(t.as_ns()); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+  void bytes(const std::uint8_t* p, std::size_t n) {
+    u32(static_cast<std::uint32_t>(n));
+    buf_.insert(buf_.end(), p, p + n);
+  }
+  void byte_vec(const std::vector<std::uint8_t>& v) {
+    bytes(v.data(), v.size());
+  }
+
+  /// Opens a tagged section; close with end_section(). Sections nest.
+  void begin_section(std::uint32_t tag) {
+    u32(tag);
+    open_.push_back(buf_.size());
+    u32(0);  // length placeholder, patched by end_section
+  }
+  void end_section() {
+    const std::size_t at = open_.back();
+    open_.pop_back();
+    const auto len = static_cast<std::uint32_t>(buf_.size() - at - 4);
+    std::memcpy(buf_.data() + at, &len, 4);
+  }
+
+  /// The finished stream. Every begin_section must have been closed.
+  std::vector<std::uint8_t> take() {
+    if (!open_.empty()) throw SnapshotError("snapshot: unclosed section");
+    return std::move(buf_);
+  }
+  const std::vector<std::uint8_t>& buffer() const { return buf_; }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+
+  std::vector<std::uint8_t> buf_;
+  std::vector<std::size_t> open_;
+};
+
+/// Reads a stream produced by SnapshotWriter, validating structure.
+class SnapshotReader {
+ public:
+  explicit SnapshotReader(const std::vector<std::uint8_t>& data)
+      : data_(data.data()), size_(data.size()) {
+    if (u32() != kSnapshotMagic) throw SnapshotError("snapshot: bad magic");
+    if (const std::uint32_t v = u32(); v != kSnapshotVersion) {
+      throw SnapshotError("snapshot: version mismatch: " + std::to_string(v));
+    }
+  }
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+  std::uint16_t u16() { return raw16(); }
+  std::uint32_t u32() { return raw32(); }
+  std::uint64_t u64() { return raw64(); }
+  bool b() { return u8() != 0; }
+  double f64() { return std::bit_cast<double>(u64()); }
+  SimTime time() { return SimTime::ns(u64()); }
+  std::string str() {
+    const std::uint32_t n = u32();
+    need(n);
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+  std::vector<std::uint8_t> byte_vec() {
+    const std::uint32_t n = u32();
+    need(n);
+    std::vector<std::uint8_t> v(data_ + pos_, data_ + pos_ + n);
+    pos_ += n;
+    return v;
+  }
+
+  /// Enters a section, checking its tag; leave with leave_section(),
+  /// which verifies the body was consumed exactly.
+  void enter_section(std::uint32_t tag) {
+    const std::uint32_t got = u32();
+    if (got != tag) {
+      throw SnapshotError("snapshot: section tag mismatch (want " +
+                          tag_name(tag) + ", got " + tag_name(got) + ")");
+    }
+    const std::uint32_t len = u32();
+    need(len);
+    ends_.push_back(pos_ + len);
+  }
+  void leave_section() {
+    const std::size_t end = ends_.back();
+    ends_.pop_back();
+    if (pos_ != end) {
+      throw SnapshotError("snapshot: section length mismatch");
+    }
+  }
+
+  bool at_end() const { return pos_ == size_; }
+
+ private:
+  static std::string tag_name(std::uint32_t tag) {
+    std::string s(4, '?');
+    for (int i = 0; i < 4; ++i) {
+      const char c = static_cast<char>((tag >> (8 * i)) & 0xFF);
+      s[static_cast<std::size_t>(i)] = (c >= 32 && c < 127) ? c : '?';
+    }
+    return s;
+  }
+
+  void need(std::size_t n) const {
+    if (size_ - pos_ < n) throw SnapshotError("snapshot: short read");
+    if (!ends_.empty() && pos_ + n > ends_.back()) {
+      throw SnapshotError("snapshot: read past section end");
+    }
+  }
+  std::uint16_t raw16() {
+    need(2);
+    std::uint16_t v;
+    std::memcpy(&v, data_ + pos_, 2);
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t raw32() {
+    need(4);
+    std::uint32_t v;
+    std::memcpy(&v, data_ + pos_, 4);
+    pos_ += 4;
+    return v;
+  }
+  std::uint64_t raw64() {
+    need(8);
+    std::uint64_t v;
+    std::memcpy(&v, data_ + pos_, 8);
+    pos_ += 8;
+    return v;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  std::vector<std::size_t> ends_;
+};
+
+/// A stateful layer that can checkpoint its mutable state. Contract:
+/// save_state at a settled instant, restore_state into a freshly
+/// constructed twin of the same scenario (same construction path), in
+/// the same relative order within the containing aggregate.
+class Snapshotable {
+ public:
+  virtual ~Snapshotable() = default;
+  virtual void save_state(SnapshotWriter& w) const = 0;
+  virtual void restore_state(SnapshotReader& r) = 0;
+};
+
+/// Re-creates pending timers from their saved descriptors. A module that
+/// schedules descriptor-tagged timers registers one of these with the
+/// Environment under a stable name (Environment::register_rearm); on
+/// restore the kernel replays every live descriptor, in the saved seq
+/// order, through its owner's handler. The handler must schedule exactly
+/// one timer, through the same tagged-schedule path the original call
+/// used, to fire at absolute time `when`.
+class RearmHandler {
+ public:
+  virtual ~RearmHandler() = default;
+  virtual void rearm_timer(std::uint16_t kind, std::uint64_t payload,
+                           SimTime when) = 0;
+};
+
+// ---- container codecs ------------------------------------------------------
+
+template <typename F>
+void save_seq(SnapshotWriter& w, std::size_t n, F&& per_item) {
+  w.u32(static_cast<std::uint32_t>(n));
+  for (std::size_t i = 0; i < n; ++i) per_item(i);
+}
+
+template <typename F>
+void restore_seq(SnapshotReader& r, F&& per_item) {
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) per_item(i);
+}
+
+inline void save_u8_vector(SnapshotWriter& w,
+                           const std::vector<std::uint8_t>& v) {
+  w.byte_vec(v);
+}
+inline void restore_u8_vector(SnapshotReader& r,
+                              std::vector<std::uint8_t>& v) {
+  v = r.byte_vec();
+}
+
+inline void save_bitvector(SnapshotWriter& w, const BitVector& v) {
+  w.u64(v.size());
+  for (std::size_t i = 0; i < v.num_words(); ++i) w.u64(v.word(i));
+}
+inline void restore_bitvector(SnapshotReader& r, BitVector& v) {
+  const std::uint64_t n = r.u64();
+  v.clear();
+  v.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t done = 0; done < n; done += 64) {
+    const unsigned chunk = static_cast<unsigned>(n - done < 64 ? n - done : 64);
+    v.append_uint(r.u64(), chunk);
+  }
+}
+
+}  // namespace btsc::sim

@@ -23,7 +23,7 @@ TimerWheel::~TimerWheel() = default;
 
 void TimerWheel::heap_place(std::size_t pos, const HeapEntry& e) {
   heap_[pos] = e;
-  slab_[e.slot].pos = static_cast<std::uint32_t>(pos);
+  hot_[e.slot].pos = static_cast<std::uint32_t>(pos);
 }
 
 void TimerWheel::sift_up(std::size_t pos) {
@@ -58,7 +58,7 @@ void TimerWheel::sift_down(std::size_t pos) {
 void TimerWheel::heap_push(SimTime when, std::uint64_t seq,
                            std::uint32_t slot) {
   heap_.push_back({when, seq, slot});
-  Node& n = slab_[slot];
+  Hot& n = hot_[slot];
   n.where = kWhereHeap;
   n.pos = static_cast<std::uint32_t>(heap_.size() - 1);
   sift_up(heap_.size() - 1);
@@ -89,17 +89,33 @@ void TimerWheel::heap_remove_at(std::size_t pos) {
 void TimerWheel::cancel_owned(const void* owner) {
   if (owner == nullptr) return;
   cancel_scratch_.clear();
-  for (std::uint32_t s = 0; s < slab_.size(); ++s) {
-    const Node& n = slab_[s];
+  for (std::uint32_t s = 0; s < hot_.size(); ++s) {
+    const Hot& n = hot_[s];
     if (n.where != kWhereFree && n.owner == owner) {
       cancel_scratch_.push_back(s);
     }
   }
   for (const std::uint32_t s : cancel_scratch_) {
-    remove_from_container(slab_[s]);
+    remove_from_container(hot_[s]);
     release_slot(s);
     ++canceled_;
   }
+}
+
+void TimerWheel::clear() {
+  for (auto& lv : levels_) {
+    std::fill(lv.heads.begin(), lv.heads.end(), kNil);
+    std::fill(lv.words.begin(), lv.words.end(), 0);
+    lv.summary = 0;
+    lv.live = 0;
+  }
+  heap_.clear();
+  hot_.clear();
+  payload_.clear();
+  free_head_ = kNil;
+  live_ = 0;
+  due_.tns = ~std::uint64_t{0};
+  cached_now_ns_ = ~std::uint64_t{0};
 }
 
 TimerWheel::Stats TimerWheel::stats() const {

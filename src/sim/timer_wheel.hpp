@@ -33,6 +33,16 @@
 // summary over 64-bit words), so "next non-empty bucket" is a couple of
 // countr_zero scans, not a ring walk.
 //
+// Node storage is split structure-of-arrays: the scan-hot ordering and
+// linkage fields (generation, container linkage, seq, when, owner,
+// descriptor kind) live in a dense 48-byte `Hot` array that pop_due()
+// bucket scans and cancel_owned() sweeps touch, while the payload --
+// the type-erased UniqueFunction callback (48-byte SBO), the event
+// pointer and the descriptor payload word -- lives in a parallel
+// `Payload` array touched only when a timer is created, fired or
+// released. Same-instant bucket scans and owner sweeps therefore read
+// 48-byte lines instead of dragging callback storage through the cache.
+//
 // Ordering
 // --------
 // The dispatch contract is the exact (when, seq) total order of the
@@ -55,6 +65,13 @@
 // stale TimerIds inert. Entries stay in their container until popped,
 // so a callback canceling a same-instant sibling removes it before its
 // turn, exactly as before.
+//
+// Checkpointing: timers scheduled through the tagged path carry a
+// (kind, payload) descriptor; for_each_live() exposes every live
+// entry's (owner, kind, payload, when, seq) so Environment::save_state
+// can serialize the queue as re-armable descriptors, and clear() +
+// set_next_seq() let restore_state rebuild it replaying the exact seq
+// allocation (see docs/ARCHITECTURE.md, "Checkpoint/fork").
 #pragma once
 
 #include <bit>
@@ -103,15 +120,23 @@ class TimerWheel {
   /// Schedules a one-shot callback at absolute time `when`. `owner` is
   /// an optional tag for cancel_owned(); it is never dereferenced. The
   /// callable constructs directly into the slab node (templated so no
-  /// UniqueFunction temporary is moved through the call).
+  /// UniqueFunction temporary is moved through the call). `kind` and
+  /// `payload` form the timer's re-arm descriptor: kind 0 marks an
+  /// opaque (non-checkpointable) timer, any other kind promises the
+  /// owner's RearmHandler can reconstruct the callback from
+  /// (kind, payload) alone.
   template <typename F>
   TimerId schedule_callback(SimTime now, SimTime when, F&& fn,
-                            const void* owner) {
+                            const void* owner, std::uint16_t kind = 0,
+                            std::uint64_t payload = 0) {
     const std::uint32_t slot = acquire_slot();
-    Node& n = slab_[slot];
+    Hot& n = hot_[slot];
     n.owner = owner;
-    n.event = nullptr;
-    n.fn.emplace(std::forward<F>(fn));
+    n.kind = kind;
+    Payload& p = payload_[slot];
+    p.event = nullptr;
+    p.payload = payload;
+    p.fn.emplace(std::forward<F>(fn));
     const TimerId id = make_id(slot, n.gen);
     place(slot, now, when);
     return id;
@@ -147,6 +172,34 @@ class TimerWheel {
   /// when nothing (remains) due at `t`.
   inline bool pop_due(SimTime t, Event*& ev, UniqueFunction& fn);
 
+  // ---- checkpoint support ----
+
+  /// The seq the next schedule will be stamped with. Saved in
+  /// checkpoints; set_next_seq() replays the allocation on restore
+  /// (set it to a descriptor's saved seq immediately before re-arming
+  /// it, and to the saved counter once every descriptor is back).
+  std::uint64_t next_seq() const { return next_seq_; }
+  void set_next_seq(std::uint64_t seq) { next_seq_ = seq; }
+
+  /// Visits every live entry as
+  ///   f(owner, kind, payload, when, seq, is_event)
+  /// in slab order (callers sort by seq for a canonical ordering).
+  template <typename F>
+  void for_each_live(F&& f) const {
+    for (std::uint32_t s = 0; s < hot_.size(); ++s) {
+      const Hot& n = hot_[s];
+      if (n.where == kWhereFree) continue;
+      f(n.owner, n.kind, payload_[s].payload, n.when, n.seq,
+        payload_[s].event != nullptr);
+    }
+  }
+
+  /// Drops every entry and recycles the slab (outstanding TimerIds go
+  /// stale). Does NOT touch next_seq_ or the lifetime counters -- the
+  /// restore path overwrites the former and folds the latter into the
+  /// usual scheduler stats.
+  void clear();
+
   /// Lifecycle counters (mirrored into Environment::SchedulerStats).
   struct Stats {
     std::uint64_t scheduled = 0;
@@ -175,21 +228,30 @@ class TimerWheel {
     kWhereHeap     // in the overflow heap at index `pos`
   };
 
-  /// One slab entry: a one-shot callback (event == nullptr) or a timed
-  /// event notification. Nodes are recycled through a free list; `gen`
+  /// Scan-hot half of a slab entry: everything the bucket scans, heap
+  /// sifts and owner sweeps read. 48 bytes, no callback storage. Nodes
+  /// are recycled through a free list (threaded through `next`); `gen`
   /// distinguishes reuses so stale TimerIds cannot alias a new timer.
-  struct Node {
+  struct Hot {
     std::uint32_t gen = 0;
     std::uint8_t where = kWhereFree;
     std::uint8_t level = 0;
+    std::uint16_t kind = 0;  // re-arm descriptor kind (0 = opaque)
     std::uint32_t pos = 0;
     std::uint32_t prev = kNil;
     std::uint32_t next = kNil;
     std::uint64_t seq = 0;
     SimTime when;
     const void* owner = nullptr;
+  };
+
+  /// Cold half, parallel to `Hot`: the dispatch payload (exactly one of
+  /// event/fn is set) and the re-arm descriptor payload word. Touched
+  /// only at schedule, fire and release.
+  struct Payload {
     Event* event = nullptr;
     UniqueFunction fn;
+    std::uint64_t payload = 0;
   };
 
   /// Heap entries carry the ordering key, so sift comparisons stay
@@ -250,13 +312,13 @@ class TimerWheel {
 
   inline std::uint32_t acquire_slot();
   inline void release_slot(std::uint32_t slot);
-  inline const Node* find_live(TimerId id) const;
+  inline const Hot* find_live(TimerId id) const;
   inline void place(std::uint32_t slot, SimTime now, SimTime when);
-  inline void remove_from_container(Node& n);
+  inline void remove_from_container(Hot& n);
 
   // wheel plumbing
   inline void bucket_insert(int level, std::uint64_t q, std::uint32_t slot);
-  inline void bucket_unlink(Node& n);
+  inline void bucket_unlink(Hot& n);
   static inline void mark_bucket(Level& lv, std::uint32_t idx);
   static inline void clear_bucket_bit(Level& lv, std::uint32_t idx);
   /// Next occupied bucket position at ring distance >= 0 from `from`,
@@ -270,7 +332,8 @@ class TimerWheel {
   void heap_push(SimTime when, std::uint64_t seq, std::uint32_t slot);
   void heap_remove_at(std::size_t pos);
 
-  std::vector<Node> slab_;
+  std::vector<Hot> hot_;          // scan-hot halves, indexed by slot
+  std::vector<Payload> payload_;  // cold halves, parallel to hot_
   std::uint32_t free_head_ = kNil;
   Level levels_[kLevels];
   std::vector<HeapEntry> heap_;
@@ -299,35 +362,38 @@ class TimerWheel {
 inline std::uint32_t TimerWheel::acquire_slot() {
   const std::uint32_t slot = free_head_;
   if (slot != kNil) {
-    free_head_ = slab_[slot].next;  // intrusive free list
+    free_head_ = hot_[slot].next;  // intrusive free list
     return slot;
   }
-  slab_.emplace_back();
-  return static_cast<std::uint32_t>(slab_.size() - 1);
+  hot_.emplace_back();
+  payload_.emplace_back();
+  return static_cast<std::uint32_t>(hot_.size() - 1);
 }
 
 inline void TimerWheel::release_slot(std::uint32_t slot) {
-  Node& n = slab_[slot];
+  Hot& n = hot_[slot];
   ++n.gen;  // retire every outstanding TimerId for this slot
   n.where = kWhereFree;
-  n.fn.reset();  // destroy the captured state now, not at slot reuse
-  // The free list threads through `next`; event/owner/prev are garbage
-  // while free -- both schedule paths (and bucket_insert) overwrite
-  // every field they rely on.
+  Payload& p = payload_[slot];
+  p.fn.reset();  // destroy the captured state now, not at slot reuse
+  p.event = nullptr;
+  // The free list threads through `next`; owner/prev/kind/payload are
+  // garbage while free -- both schedule paths (and bucket_insert)
+  // overwrite every field they rely on.
   n.next = free_head_;
   free_head_ = slot;
   --live_;
 }
 
-inline const TimerWheel::Node* TimerWheel::find_live(TimerId id) const {
+inline const TimerWheel::Hot* TimerWheel::find_live(TimerId id) const {
   const std::uint32_t lo = static_cast<std::uint32_t>(id);
   if (lo == 0) return nullptr;
   const std::uint32_t slot = lo - 1;
-  if (slot >= slab_.size()) return nullptr;
-  const Node& n = slab_[slot];
+  if (slot >= hot_.size()) return nullptr;
+  const Hot& n = hot_[slot];
   if (n.gen != static_cast<std::uint32_t>(id >> 32)) return nullptr;
   assert(n.where != kWhereFree);  // live generation => somewhere
-  assert(n.event == nullptr);     // ids are only minted for callbacks
+  assert(payload_[slot].event == nullptr);  // ids only minted for callbacks
   return &n;
 }
 
@@ -348,14 +414,14 @@ inline void TimerWheel::bucket_insert(int level, std::uint64_t q,
   Level& lv = levels_[level];
   const std::uint32_t idx =
       static_cast<std::uint32_t>(q) & (kBuckets[level] - 1);
-  Node& n = slab_[slot];
+  Hot& n = hot_[slot];
   n.where = kWhereBucket;
   n.level = static_cast<std::uint8_t>(level);
   n.pos = idx;
   n.prev = kNil;
   n.next = lv.heads[idx];
   if (lv.heads[idx] != kNil) {
-    slab_[lv.heads[idx]].prev = slot;
+    hot_[lv.heads[idx]].prev = slot;
   } else {
     mark_bucket(lv, idx);
   }
@@ -363,15 +429,15 @@ inline void TimerWheel::bucket_insert(int level, std::uint64_t q,
   ++lv.live;
 }
 
-inline void TimerWheel::bucket_unlink(Node& n) {
+inline void TimerWheel::bucket_unlink(Hot& n) {
   Level& lv = levels_[n.level];
   if (n.prev != kNil) {
-    slab_[n.prev].next = n.next;
+    hot_[n.prev].next = n.next;
   } else {
     lv.heads[n.pos] = n.next;
     if (n.next == kNil) clear_bucket_bit(lv, n.pos);
   }
-  if (n.next != kNil) slab_[n.next].prev = n.prev;
+  if (n.next != kNil) hot_[n.next].prev = n.prev;
   --lv.live;
 }
 
@@ -406,7 +472,7 @@ inline std::uint32_t TimerWheel::next_occupied(int level,
 }
 
 inline void TimerWheel::place(std::uint32_t slot, SimTime now, SimTime when) {
-  Node& n = slab_[slot];
+  Hot& n = hot_[slot];
   n.seq = next_seq_++;
   n.when = when;
   ++live_;
@@ -448,12 +514,14 @@ inline void TimerWheel::place(std::uint32_t slot, SimTime now, SimTime when) {
 
 inline void TimerWheel::schedule_event(SimTime now, SimTime when, Event& ev) {
   const std::uint32_t slot = acquire_slot();
-  slab_[slot].owner = nullptr;
-  slab_[slot].event = &ev;
+  hot_[slot].owner = nullptr;
+  hot_[slot].kind = 0;
+  payload_[slot].event = &ev;
+  payload_[slot].payload = 0;
   place(slot, now, when);
 }
 
-inline void TimerWheel::remove_from_container(Node& n) {
+inline void TimerWheel::remove_from_container(Hot& n) {
   switch (n.where) {
     case kWhereBucket:
       bucket_unlink(n);
@@ -469,13 +537,13 @@ inline void TimerWheel::remove_from_container(Node& n) {
 
 inline bool TimerWheel::cancel(TimerId id) {
   if (id == kInvalidTimer) return false;
-  const Node* found = find_live(id);
+  const Hot* found = find_live(id);
   if (found == nullptr) {
     ++cancels_after_fire_;
     return false;
   }
   const auto slot = static_cast<std::uint32_t>(id) - 1;
-  remove_from_container(slab_[slot]);
+  remove_from_container(hot_[slot]);
   release_slot(slot);
   ++canceled_;
   return true;
@@ -593,13 +661,13 @@ inline bool TimerWheel::pop_due(SimTime t, Event*& ev, UniqueFunction& fn) {
     // The bucket holds exactly one instant; if it is not `t`, the
     // bucket belongs to an in-window tick and `t` is a beyond-horizon
     // heap instant that merely aliases the same ring position.
-    if (s == kNil || slab_[s].when != t) continue;
+    if (s == kNil || hot_[s].when != t) continue;
     // Bucket lists are unordered; scan for the minimum seq (due
     // batches are tiny -- usually a single entry).
-    for (; s != kNil; s = slab_[s].next) {
-      assert(slab_[s].when == t);
-      if (slab_[s].seq < best_seq) {
-        best_seq = slab_[s].seq;
+    for (; s != kNil; s = hot_[s].next) {
+      assert(hot_[s].when == t);
+      if (hot_[s].seq < best_seq) {
+        best_seq = hot_[s].seq;
         best = s;
       }
     }
@@ -610,14 +678,14 @@ inline bool TimerWheel::pop_due(SimTime t, Event*& ev, UniqueFunction& fn) {
     from_heap = true;
   }
   if (best == kNil) return false;
-  Node& n = slab_[best];
+  Hot& n = hot_[best];
   if (from_heap) {
     heap_remove_at(0);
   } else {
     bucket_unlink(n);
   }
-  ev = n.event;
-  if (ev == nullptr) fn = std::move(n.fn);
+  ev = payload_[best].event;
+  if (ev == nullptr) fn = std::move(payload_[best].fn);
   release_slot(best);
   ++fired_;
   return true;

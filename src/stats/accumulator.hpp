@@ -12,6 +12,8 @@
 #include <utility>
 #include <vector>
 
+#include "sim/snapshot.hpp"
+
 namespace btsc::stats {
 
 /// Online mean / variance / extrema of a stream of doubles.
@@ -37,6 +39,22 @@ class Accumulator {
   /// Merges another accumulator (parallel reduction), preserving exact
   /// mean/variance as if all samples were added to one accumulator.
   void merge(const Accumulator& other);
+
+  // ---- checkpointing ----
+  void save_state(sim::SnapshotWriter& w) const {
+    w.u64(n_);
+    w.f64(mean_);
+    w.f64(m2_);
+    w.f64(min_);
+    w.f64(max_);
+  }
+  void restore_state(sim::SnapshotReader& r) {
+    n_ = static_cast<std::size_t>(r.u64());
+    mean_ = r.f64();
+    m2_ = r.f64();
+    min_ = r.f64();
+    max_ = r.f64();
+  }
 
  private:
   std::size_t n_ = 0;
@@ -94,6 +112,16 @@ class RatioCounter {
   }
   /// Wilson score interval [lo, hi] at 95% confidence.
   std::pair<double, double> wilson95() const;
+
+  // ---- checkpointing ----
+  void save_state(sim::SnapshotWriter& w) const {
+    w.u64(n_);
+    w.u64(k_);
+  }
+  void restore_state(sim::SnapshotReader& r) {
+    n_ = static_cast<std::size_t>(r.u64());
+    k_ = static_cast<std::size_t>(r.u64());
+  }
 
  private:
   std::size_t n_ = 0;

@@ -1,0 +1,129 @@
+// The checkpoint-warmup sweep contract: a forked sweep (every
+// replication restored from its point's warm-up snapshot) must be
+// bitwise identical to the cold staged sweep (warm-up re-run per
+// replication), row for row and byte for byte in the JSON artifact --
+// and must stay thread-count invariant like every other sweep. The
+// legacy single-stage mode must remain the default.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+#include "runner/scenarios.hpp"
+
+namespace btsc::runner {
+namespace {
+
+ScenarioRequest staged_request(WarmupMode mode, int threads = 1) {
+  ScenarioRequest req;
+  req.threads = threads;
+  req.quick = true;
+  req.replications = 3;
+  req.max_points = 2;
+  req.warmup = mode;
+  return req;
+}
+
+/// JSON artifact with the kernel_* telemetry removed: forking changes
+/// how many timers the process schedules (snapshot scaffolds replace
+/// re-run warm-ups), so the timed-queue counters legitimately differ --
+/// the byte-identity contract covers the results and the result-defining
+/// metadata, exactly what the ci.sh gate compares.
+std::string to_json_sans_kernel_meta(const SweepResult& result) {
+  std::ostringstream os;
+  core::JsonReporter reporter(os);
+  write_result(result, reporter);
+  std::string s = os.str();
+  std::size_t pos;
+  while ((pos = s.find("\"kernel_")) != std::string::npos) {
+    const std::size_t start = s.rfind(", ", pos);         // preceding comma
+    const std::size_t colon = s.find(": \"", pos);        // value opener
+    const std::size_t end = s.find('"', colon + 3);       // value closer
+    s.erase(start, end + 1 - start);
+  }
+  return s;
+}
+
+void expect_rows_bitwise_equal(const SweepResult& a, const SweepResult& b) {
+  ASSERT_EQ(a.rows.size(), b.rows.size());
+  for (std::size_t r = 0; r < a.rows.size(); ++r) {
+    ASSERT_EQ(a.rows[r].size(), b.rows[r].size());
+    for (std::size_t c = 0; c < a.rows[r].size(); ++c) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(a.rows[r][c]),
+                std::bit_cast<std::uint64_t>(b.rows[r][c]))
+          << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(CheckpointSweep, LegacyModeIsTheDefault) {
+  const ScenarioRequest req;
+  EXPECT_EQ(req.warmup, WarmupMode::kLegacy);
+  // And a default run reports itself as legacy (the result-defining
+  // staging flag in the artifact metadata).
+  ScenarioRequest quick;
+  quick.quick = true;
+  quick.replications = 1;
+  quick.max_points = 1;
+  EXPECT_FALSE(run_scenario("fig08", quick).staged_warmup);
+}
+
+TEST(CheckpointSweep, Fig08ForkMatchesColdByteForByte) {
+  const SweepResult cold =
+      run_scenario("fig08", staged_request(WarmupMode::kCold));
+  const SweepResult fork =
+      run_scenario("fig08", staged_request(WarmupMode::kFork));
+  ASSERT_EQ(cold.rows.size(), 2u);
+  expect_rows_bitwise_equal(cold, fork);
+  EXPECT_EQ(to_json_sans_kernel_meta(cold), to_json_sans_kernel_meta(fork));
+}
+
+TEST(CheckpointSweep, Fig10ForkMatchesCold) {
+  const SweepResult cold =
+      run_scenario("fig10", staged_request(WarmupMode::kCold));
+  const SweepResult fork =
+      run_scenario("fig10", staged_request(WarmupMode::kFork));
+  expect_rows_bitwise_equal(cold, fork);
+  EXPECT_EQ(to_json_sans_kernel_meta(cold), to_json_sans_kernel_meta(fork));
+}
+
+TEST(CheckpointSweep, CoexistenceForkMatchesCold) {
+  ScenarioRequest req = staged_request(WarmupMode::kCold);
+  req.replications = 2;
+  const SweepResult cold = run_scenario("coexistence", req);
+  req.warmup = WarmupMode::kFork;
+  const SweepResult fork = run_scenario("coexistence", req);
+  expect_rows_bitwise_equal(cold, fork);
+  EXPECT_EQ(to_json_sans_kernel_meta(cold), to_json_sans_kernel_meta(fork));
+}
+
+TEST(CheckpointSweep, ForkedSweepThreadCountInvariant) {
+  const SweepResult serial =
+      run_scenario("fig08", staged_request(WarmupMode::kFork, 1));
+  for (int threads : {2, 8}) {
+    const SweepResult pooled =
+        run_scenario("fig08", staged_request(WarmupMode::kFork, threads));
+    expect_rows_bitwise_equal(serial, pooled);
+    EXPECT_EQ(to_json_sans_kernel_meta(serial), to_json_sans_kernel_meta(pooled));
+  }
+}
+
+TEST(CheckpointSweep, StagedStreamsDifferFromLegacy) {
+  // The staged split changes which stream drives construction, so staged
+  // samples are NOT expected to reproduce legacy ones -- the metadata
+  // must make the difference visible.
+  const SweepResult legacy =
+      run_scenario("fig08", staged_request(WarmupMode::kLegacy));
+  const SweepResult cold =
+      run_scenario("fig08", staged_request(WarmupMode::kCold));
+  EXPECT_FALSE(legacy.staged_warmup);
+  EXPECT_TRUE(cold.staged_warmup);
+  EXPECT_NE(to_json_sans_kernel_meta(legacy), to_json_sans_kernel_meta(cold));
+}
+
+}  // namespace
+}  // namespace btsc::runner
