@@ -67,6 +67,43 @@ void BM_PaperScenario480msPerBit(benchmark::State& state) {
 }
 BENCHMARK(BM_PaperScenario480msPerBit)->Unit(benchmark::kMillisecond);
 
+/// The same creation scenario on a noisy channel (BER 1/60, mid-range
+/// on the paper's Fig. 6-8 sweeps). On the burst side every packet
+/// rides a masked run: the whole error pattern is pre-drawn with
+/// Rng::fill_error_mask and XORed in at word granularity. The per-bit
+/// side draws one Bernoulli per transmitted bit. The pair measures
+/// exactly what the batched error-mask path buys on noisy scenarios --
+/// before it existed, BER > 0 forced every packet onto the per-bit
+/// chain.
+void noisy_scenario(benchmark::State& state, bool burst) {
+  for (auto _ : state) {
+    core::SystemConfig sc;
+    sc.num_slaves = 3;
+    sc.seed = 7;
+    sc.ber = 1.0 / 60.0;
+    sc.lc.inquiry_timeout_slots = 65000;
+    core::BluetoothSystem sys(sc);
+    sys.channel().set_burst_transport_enabled(burst);
+    for (int i = 0; i < 3; ++i) sys.slave(i).lc().enable_inquiry_scan();
+    sys.master().lc().enable_inquiry();
+    sys.run(480_ms);
+    benchmark::DoNotOptimize(sys.env().process_activations());
+  }
+  state.counters["sim_clock_cycles_per_s"] = benchmark::Counter(
+      480e3 * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_NoisyScenario480ms(benchmark::State& state) {
+  noisy_scenario(state, /*burst=*/true);
+}
+BENCHMARK(BM_NoisyScenario480ms)->Unit(benchmark::kMillisecond);
+
+void BM_NoisyScenario480msPerBit(benchmark::State& state) {
+  noisy_scenario(state, /*burst=*/false);
+}
+BENCHMARK(BM_NoisyScenario480msPerBit)->Unit(benchmark::kMillisecond);
+
 /// Full packet codec round trip through the word-packed framing stack:
 /// compose a DH5 (access code, header FEC 1/3 + HEC, whitening, CRC),
 /// then run every air bit through the receiver's batched sink protocol

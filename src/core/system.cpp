@@ -69,6 +69,9 @@ BluetoothSystem::~BluetoothSystem() { finish_trace(); }
 
 void BluetoothSystem::finish_trace() {
   if (tracer_) {
+    // A burst run still in flight has traced bus transitions that only
+    // exist as run geometry; materialise them before the file closes.
+    channel_.flush_trace_backfill();
     tracer_->close();
     env_.set_tracer(nullptr);
     tracer_.reset();

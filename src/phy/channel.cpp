@@ -1,9 +1,12 @@
 #include "phy/channel.hpp"
 
+#include <bit>
 #include <cassert>
 #include <stdexcept>
 
 #include "sim/environment.hpp"
+#include "sim/rng.hpp"
+#include "sim/tracer.hpp"
 
 namespace btsc::phy {
 
@@ -94,7 +97,7 @@ void NoisyChannel::apply(PortId port, int freq, Logic4 value) {
   Logic4 v = value;
   if (is_defined(v)) {
     ++bits_driven_;
-    if (config_.ber > 0.0 && env().rng().bernoulli(config_.ber)) {
+    if (config_.ber > 0.0 && env().draw_bernoulli(config_.ber)) {
       v = invert(v);
       ++bits_flipped_;
     }
@@ -168,12 +171,16 @@ bool NoisyChannel::begin_burst(PortId port, int freq,
     throw std::out_of_range("NoisyChannel::begin_burst: bad frequency");
   }
   // Equivalence gate: a run is accepted only when the batched loop is
-  // provably identical to per-bit drives -- no noise draws to reorder
-  // (BER 0), aligned drive instants (no RF delay), no per-bit bus trace
-  // to emit, and nobody else on the air.
+  // provably identical to per-bit drives -- aligned drive instants (no
+  // RF delay), a tracer able to take the backfilled bus waveform, and
+  // nobody else on the air. BER > 0 is no longer refused: noise is
+  // pre-applied as an error mask drawn in exact per-bit order
+  // (arm_masked_run), guarded against foreign draws reordering the
+  // stream.
+  sim::Tracer* tracer = env().tracer();
   if (!config_.burst_transport || bits.empty() ||
-      config_.ber > 0.0 || config_.rf_delay != sim::SimTime::zero() ||
-      env().tracer() != nullptr || bus_trace_ != nullptr ||
+      config_.rf_delay != sim::SimTime::zero() ||
+      (tracer != nullptr && !tracer->supports_backfill()) ||
       run_.active || defined_ports_ > 0) {
     return false;
   }
@@ -182,11 +189,85 @@ bool NoisyChannel::begin_burst(PortId port, int freq,
   run_.port = port;
   run_.freq = freq;
   run_.bits = &bits;
+  run_.clean = &bits;
   run_.start = env().now();
   run_.period = period;
+  if (config_.ber > 0.0) arm_masked_run(bits);
+  if (tracer != nullptr && bus_trace_ != nullptr && bus_trace_->traced()) {
+    // Bus transitions for the run's bits are reconstructed after the
+    // fact (backfill_to); the hold keeps the tracer from streaming out
+    // anything inside the run's window until they have landed.
+    tracer->begin_hold();
+    trace_hold_ = true;
+    backfilled_ = 0;
+  }
   ports_[static_cast<std::size_t>(port)].freq = freq;
   notify_reevaluate();
   return true;
+}
+
+void NoisyChannel::arm_masked_run(const sim::BitVector& bits) {
+  // Our bulk mask fill is a foreign draw for any other masked run in
+  // flight on this environment (coexistence setups share one RNG):
+  // make its guard stand down before we capture the stream position.
+  env().notify_rng_draw();
+  sim::Rng& rng = env().rng();
+  mask_base_ = rng.state();
+  build_masked_buffers(bits, rng);
+  run_.bits = &noisy_;
+  run_.masked = true;
+  if (sim::Rng::bernoulli_draws_per_bit(config_.ber) > 0) {
+    run_.mask_synced = false;
+    env().set_rng_guard(this);
+  } else {
+    // BER >= 1 consumes no draws, so the stream position matches the
+    // per-bit reference at every bit; no guard needed.
+    run_.mask_synced = true;
+  }
+}
+
+void NoisyChannel::build_masked_buffers(const sim::BitVector& bits,
+                                        sim::Rng& rng) {
+  const std::size_t n = bits.size();
+  mask_.clear();
+  mask_.append_zeros(n);
+  rng.fill_error_mask(mask_.words_mut(), n, config_.ber);
+  noisy_.clear();
+  noisy_.append(bits);
+  // Both vectors keep their tail bits zero, so whole-word XOR preserves
+  // the invariant on the noisy copy.
+  std::uint64_t* nw = noisy_.words_mut();
+  const std::uint64_t* mw = mask_.words();
+  for (std::size_t w = 0; w < noisy_.num_words(); ++w) nw[w] ^= mw[w];
+}
+
+std::size_t NoisyChannel::mask_flips_before(std::size_t k) const {
+  assert(run_.masked && k <= mask_.size());
+  std::size_t flips = 0;
+  const std::uint64_t* mw = mask_.words();
+  for (std::size_t w = 0; k > 0; ++w) {
+    const std::uint64_t word = k >= 64 ? mw[w] : (mw[w] & ((1ull << k) - 1));
+    flips += static_cast<std::size_t>(std::popcount(word));
+    k -= k >= 64 ? 64 : k;
+  }
+  return flips;
+}
+
+void NoisyChannel::rng_external_draw() {
+  assert(run_.active && run_.masked && !run_.mask_synced);
+  if (run_bits_elapsed() >= run_.bits->size()) {
+    // Every bit of the run is already on the air, so the upfront fill
+    // consumed exactly the draws the per-bit reference would have by
+    // now: the stream position already matches. Stand down.
+    run_.mask_synced = true;
+    env().set_rng_guard(nullptr);
+    return;
+  }
+  // A foreign draw landed mid-run: in per-bit order it belongs between
+  // the elapsed bits' draws and the remaining ones. settle_run() (via
+  // fallback_run) rewinds the stream to the elapsed position; the rest
+  // of the packet degrades to per-bit drives with fresh draws.
+  fallback_run();
 }
 
 std::size_t NoisyChannel::run_bits_elapsed() const {
@@ -208,7 +289,58 @@ Logic4 NoisyChannel::run_value_now() const {
   return from_bit((*run_.bits)[run_bits_elapsed() - 1]);
 }
 
+void NoisyChannel::backfill_to(std::size_t k) {
+  assert(trace_hold_ && run_.active && k >= 1);
+  sim::Tracer* tracer = env().tracer();
+  if (tracer == nullptr) return;  // detached mid-run; nowhere to write
+  const sim::BitVector& bits = *run_.bits;
+  const sim::TraceId id = bus_trace_->trace_id();
+  // Emit only net transitions at their per-bit instants -- exactly the
+  // changes the Signal commit path would have produced bit by bit
+  // (bus_trace_ still holds the pre-run value while backfilled_ == 0).
+  Logic4 prev = backfilled_ == 0 ? bus_trace_->read()
+                                 : from_bit(bits[backfilled_ - 1]);
+  const std::uint64_t start_ns = run_.start.as_ns();
+  const std::uint64_t period_ns = run_.period.as_ns();
+  for (std::size_t i = backfilled_; i < k; ++i) {
+    const Logic4 v = from_bit(bits[i]);
+    if (v != prev) {
+      tracer->change_at(id, sim::TraceEncoder<Logic4>::encode(v),
+                        start_ns + period_ns * static_cast<std::uint64_t>(i));
+    }
+    prev = v;
+  }
+  backfilled_ = k;
+}
+
+void NoisyChannel::flush_trace_backfill() {
+  if (!trace_hold_) return;
+  backfill_to(run_bits_elapsed());
+}
+
 std::size_t NoisyChannel::settle_run(std::size_t driven, Logic4 last) {
+  assert(driven >= 1);
+  if (run_.masked) {
+    if (!run_.mask_synced && driven < run_.bits->size()) {
+      // The per-bit reference would have consumed exactly `driven`
+      // noise draws by now: rewind the upfront fill to that position so
+      // every subsequent draw sees the stream the reference path would.
+      sim::Rng& rng = env().rng();
+      rng.set_state(mask_base_);
+      rng.discard(driven * sim::Rng::bernoulli_draws_per_bit(config_.ber));
+    }
+    if (env().rng_guard() == this) env().set_rng_guard(nullptr);
+    bits_flipped_ += mask_flips_before(driven);
+  }
+  if (trace_hold_) {
+    backfill_to(driven);
+    // Leave the bus signal holding the value the per-bit path would
+    // hold after bit driven-1, so the settle-time refresh_trace()
+    // emits (or suppresses) exactly the same change.
+    bus_trace_->restore_value(from_bit((*run_.bits)[driven - 1]));
+    if (sim::Tracer* tracer = env().tracer()) tracer->end_hold();
+    trace_hold_ = false;
+  }
   bits_driven_ += driven;
   bits_burst_ += driven;
   Port& p = ports_[static_cast<std::size_t>(run_.port)];
@@ -276,6 +408,12 @@ void NoisyChannel::notify_reevaluate() {
 // ---------------------------------------------------------------------------
 
 void NoisyChannel::save_state(sim::SnapshotWriter& w) const {
+  if (trace_hold_) {
+    throw sim::SnapshotError(
+        "NoisyChannel: cannot checkpoint while a traced burst run holds "
+        "the tracer (combine --trace with checkpoints only under "
+        "per-bit transport)");
+  }
   w.begin_section(sim::snapshot_tag("CHAN"));
   w.f64(config_.ber);
   w.b(config_.burst_transport);
@@ -291,6 +429,13 @@ void NoisyChannel::save_state(sim::SnapshotWriter& w) const {
     w.u32(static_cast<std::uint32_t>(run_.freq));
     w.time(run_.start);
     w.time(run_.period);
+    // A masked run stores only the pre-fill RNG state: the mask is a
+    // pure function of (state, BER, length) and is rebuilt on restore.
+    w.b(run_.masked);
+    if (run_.masked) {
+      w.b(run_.mask_synced);
+      for (std::uint64_t v : mask_base_) w.u64(v);
+    }
   }
   w.u64(bits_driven_);
   w.u64(bits_flipped_);
@@ -305,6 +450,13 @@ void NoisyChannel::save_state(sim::SnapshotWriter& w) const {
 }
 
 void NoisyChannel::restore_state(sim::SnapshotReader& r) {
+  // In-place restore hygiene: stand down any live masked-run guard or
+  // tracer hold belonging to the state being overwritten.
+  if (env().rng_guard() == this) env().set_rng_guard(nullptr);
+  if (trace_hold_) {
+    if (sim::Tracer* tracer = env().tracer()) tracer->end_hold();
+    trace_hold_ = false;
+  }
   r.enter_section(sim::snapshot_tag("CHAN"));
   config_.ber = r.f64();
   config_.burst_transport = r.b();
@@ -330,7 +482,12 @@ void NoisyChannel::restore_state(sim::SnapshotReader& r) {
     run_.freq = static_cast<int>(r.u32());
     run_.start = r.time();
     run_.period = r.time();
-    // run_.bits stays null until the owning radio rebinds it.
+    run_.masked = r.b();
+    if (run_.masked) {
+      run_.mask_synced = r.b();
+      for (std::uint64_t& v : mask_base_) v = r.u64();
+    }
+    // run_.bits/clean stay null until the owning radio rebinds them.
   }
   bits_driven_ = r.u64();
   bits_flipped_ = r.u64();
@@ -343,6 +500,25 @@ void NoisyChannel::restore_state(sim::SnapshotReader& r) {
   }
   if (had_trace) bus_trace_->restore_value(static_cast<Logic4>(r.u8()));
   r.leave_section();
+}
+
+void NoisyChannel::rebind_run_bits(PortId port, const sim::BitVector* bits) {
+  assert(run_.active && run_.port == port && run_.clean == nullptr &&
+         run_.bits == nullptr);
+  (void)port;
+  run_.clean = bits;
+  if (run_.masked) {
+    // Regenerate the error mask on a scratch stream from the saved
+    // pre-fill state -- it is a pure function of (state, BER, length),
+    // so the restored medium is bit-identical to the saved one.
+    sim::Rng fill;
+    fill.set_state(mask_base_);
+    build_masked_buffers(*bits, fill);
+    run_.bits = &noisy_;
+    if (!run_.mask_synced) env().set_rng_guard(this);
+  } else {
+    run_.bits = bits;
+  }
 }
 
 void NoisyChannel::refresh_trace() {

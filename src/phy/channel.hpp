@@ -23,13 +23,23 @@
 // per microsecond, and notifies registered Listeners (the radios) when
 // the medium changes so idle receivers can stop sampling entirely.
 // A run is only accepted when it is provably equivalent to the per-bit
-// path -- BER 0 (no noise draws to reorder), no RF delay, no VCD bus
-// trace, and a silent medium -- and it falls back to per-bit scheduling
-// the moment a second transmitter drives, the BER changes, or the
-// transmitter aborts. docs/ARCHITECTURE.md ("Word-packed bit transport
-// & burst delivery") carries the full equivalence argument.
+// path -- no RF delay, a silent medium, and (when tracing) a tracer
+// that accepts backfill -- and it falls back to per-bit scheduling the
+// moment a second transmitter drives, the BER changes, or the
+// transmitter aborts.
+//
+// BER > 0 runs draw the whole packet's noise flips up front as an XOR
+// error mask (sim::Rng::fill_error_mask consumes the stream in exactly
+// the per-bit order) and expose the corrupted copy as the run's bits; a
+// registered sim::RngGuard rewinds/replays the stream if any foreign
+// RNG draw lands mid-run, so every seed reproduces the per-bit path
+// bit for bit. Traced runs reconstruct the bus waveform afterwards via
+// the tracer's time-stamped backfill. docs/ARCHITECTURE.md ("Word-packed
+// bit transport & burst delivery" and "Batched error masks") carries
+// the full equivalence argument.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cassert>
 #include <cstdint>
@@ -39,6 +49,7 @@
 
 #include "phy/logic4.hpp"
 #include "sim/bitvector.hpp"
+#include "sim/environment.hpp"
 #include "sim/module.hpp"
 #include "sim/signal.hpp"
 #include "sim/snapshot.hpp"
@@ -67,7 +78,9 @@ struct ChannelConfig {
 /// Port handle returned by attach(); identifies a device on the channel.
 using PortId = int;
 
-class NoisyChannel final : public sim::Module, public sim::Snapshotable {
+class NoisyChannel final : public sim::Module,
+                           public sim::Snapshotable,
+                           public sim::RngGuard {
  public:
   /// Burst-transport callbacks implemented by the Radio that owns a
   /// port. Every medium transition is delivered in two phases so lazy
@@ -140,10 +153,12 @@ class NoisyChannel final : public sim::Module, public sim::Snapshotable {
   /// Registers the whole of `bits` as one uncontended run from `port` on
   /// `freq`, one bit per `period` starting now. Returns false -- and
   /// changes nothing -- when the run cannot be batched (burst transport
-  /// off, BER > 0, RF delay, VCD bus trace, or a non-silent medium); the
-  /// caller must then drive per-bit. `bits` must stay alive and
-  /// unchanged until the run ends. On success the first bit is on the
-  /// medium immediately (as a per-bit drive would be).
+  /// off, RF delay, a tracer without backfill support, or a non-silent
+  /// medium); the caller must then drive per-bit. `bits` must stay alive
+  /// and unchanged until the run ends. On success the first bit is on
+  /// the medium immediately (as a per-bit drive would be). BER > 0 runs
+  /// pre-apply noise as an error mask drawn in per-bit order; receivers
+  /// see the corrupted copy through rx_medium()/sense().
   bool begin_burst(PortId port, int freq, const sim::BitVector& bits,
                    sim::SimTime period);
 
@@ -190,21 +205,44 @@ class NoisyChannel final : public sim::Module, public sim::Snapshotable {
   /// noise/collision counters. The run's packed bits are NOT part of the
   /// stream -- they live in the transmitting Radio's tx buffer, and that
   /// radio re-links them via rebind_run_bits() during its own restore
-  /// (the restore order guarantees it runs after the channel's).
+  /// (the restore order guarantees it runs after the channel's). A
+  /// masked run stores only the pre-fill RNG state: the error mask is a
+  /// pure function of (state, BER, length) and is regenerated on
+  /// restore. Throws sim::SnapshotError while a traced run holds the
+  /// tracer -- the waveform buffer is not snapshotable.
   void save_state(sim::SnapshotWriter& w) const override;
   void restore_state(sim::SnapshotReader& r) override;
 
-  /// Re-links the active run's bit storage after a restore. Only valid
-  /// while `port` owns the restored run.
-  void rebind_run_bits(PortId port, const sim::BitVector* bits) {
-    assert(run_.active && run_.port == port && run_.bits == nullptr);
-    (void)port;
-    run_.bits = bits;
-  }
+  /// Re-links the active run's bit storage (the transmitter's clean
+  /// bits) after a restore; rebuilds the error mask for masked runs.
+  /// Only valid while `port` owns the restored run.
+  void rebind_run_bits(PortId port, const sim::BitVector* bits);
+
+  // ---- tracing (called by the owning system) ----
+
+  /// Materialises the backfilled bus transitions of a still-active
+  /// traced run up to now(). Must be called before the tracer is closed
+  /// or detached, or the run's waveform tail is lost.
+  void flush_trace_backfill();
+
+  // ---- RngGuard ----
+
+  /// A foreign RNG draw landed while a masked run was in flight: rewind
+  /// the upfront mask fill to the per-bit draw position and degrade the
+  /// remainder of the run to per-bit scheduling (or, if every bit has
+  /// already elapsed, simply stand down -- the stream position matches
+  /// the per-bit reference exactly).
+  void rng_external_draw() override;
 
   // ---- diagnostics ----
   std::uint64_t bits_driven() const { return bits_driven_; }
-  std::uint64_t bits_flipped() const { return bits_flipped_; }
+  std::uint64_t bits_flipped() const {
+    std::uint64_t flips = bits_flipped_;
+    // Flips of an in-flight masked run are accounted lazily: only the
+    // elapsed prefix of the mask has "happened" yet.
+    if (run_.active && run_.masked) flips += mask_flips_before(run_bits_elapsed());
+    return flips;
+  }
   std::uint64_t collision_samples() const { return collision_samples_; }
   /// Bits transported through accepted burst runs (perf telemetry).
   std::uint64_t bits_burst() const { return bits_burst_; }
@@ -214,15 +252,41 @@ class NoisyChannel final : public sim::Module, public sim::Snapshotable {
  private:
   struct Run {
     bool active = false;
+    /// BER > 0: noise flips pre-applied via mask_, bits points at the
+    /// channel-owned corrupted copy (noisy_).
+    bool masked = false;
+    /// The per-bit RNG draw order has fully caught up with the upfront
+    /// mask fill (all bits elapsed when a foreign draw arrived); no
+    /// rewind is needed at settle time.
+    bool mask_synced = false;
     PortId port = -1;
     int freq = 0;
+    /// What the medium shows (noisy_ for masked runs).
     const sim::BitVector* bits = nullptr;
+    /// The transmitter's storage, as passed to begin_burst (equal to
+    /// `bits` for unmasked runs). Needed for snapshot rebinding.
+    const sim::BitVector* clean = nullptr;
     sim::SimTime start;
     sim::SimTime period;
   };
 
   void apply(PortId port, int freq, Logic4 value);
   void refresh_trace();
+
+  /// Draws the run's error mask (saving the pre-fill RNG state first),
+  /// builds the corrupted copy and registers the RNG guard.
+  void arm_masked_run(const sim::BitVector& bits);
+
+  /// Rebuilds mask_/noisy_ for `bits` from mask_base_ (shared by
+  /// arm_masked_run and the snapshot rebind path).
+  void build_masked_buffers(const sim::BitVector& bits, sim::Rng& rng);
+
+  /// Number of set bits in the first `k` mask positions.
+  std::size_t mask_flips_before(std::size_t k) const;
+
+  /// Emits the net bus transitions of run bits [backfilled_, k) at their
+  /// per-bit instants (Tracer::change_at under the open hold).
+  void backfill_to(std::size_t k);
 
   /// Bits of the active run already on the air, honouring the event
   /// tiebreak: a bit whose drive instant equals now() counts only when
@@ -259,6 +323,15 @@ class NoisyChannel final : public sim::Module, public sim::Snapshotable {
   };
   std::vector<Port> ports_;
   Run run_;
+  // Masked-run machinery (meaningful only while run_.masked). The
+  // buffers keep their capacity across runs, so steady-state masked
+  // bursts allocate nothing.
+  sim::BitVector mask_;   // XOR error mask of the active masked run
+  sim::BitVector noisy_;  // run_.clean ^ mask_, what the medium shows
+  std::array<std::uint64_t, 4> mask_base_{};  // RNG state before the fill
+  // Traced-run backfill (meaningful only while a hold is open).
+  bool trace_hold_ = false;
+  std::size_t backfilled_ = 0;  // run bits already backfilled
   int defined_ports_ = 0;  // ports currently driving a defined value
   bool notifying_ = false;
   std::uint64_t bits_driven_ = 0;

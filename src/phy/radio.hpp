@@ -18,8 +18,11 @@
 // one-event-per-bit hot path in both directions:
 //
 //  * TX: an uncontended packet registers as one channel burst run plus a
-//    single end-of-packet timer; the per-bit timer chain only runs as
-//    the fallback (contention, noise, RF delay, tracing).
+//    single end-of-packet timer. Noise is pre-drawn as a word-packed
+//    error mask and tracing is reconstructed by time-stamped backfill,
+//    so neither forces per-bit; the per-bit timer chain only runs as
+//    the fallback (contention, mid-run reconfiguration, RF delay, or a
+//    tracer without backfill support).
 //  * RX: a receiver that implements BurstRxSink is driven lazily. While
 //    the medium at its frequency is silent it takes NO sampling events:
 //    pending all-'Z' samples are materialised in bulk when something
@@ -151,6 +154,9 @@ class Radio final : public sim::Module,
 
   std::uint64_t bits_sent() const;
   std::uint64_t bits_sampled() const;
+
+  /// This radio's port on the channel (diagnostics/tests).
+  PortId port() const { return port_; }
 
   // ---- NoisyChannel::Listener ----
   void rx_sync() override;

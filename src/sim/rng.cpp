@@ -55,6 +55,31 @@ bool Rng::bernoulli(double p) {
   return uniform01() < p;
 }
 
+void Rng::fill_error_mask(std::uint64_t* words, std::size_t nbits, double p) {
+  const std::size_t nwords = (nbits + 63) / 64;
+  if (p <= 0.0 || p >= 1.0) {
+    // bernoulli() takes its constant shortcut without consuming a draw;
+    // the mask mirrors that: all clear / all set, zero draws.
+    const std::uint64_t fill = p >= 1.0 && nbits > 0 ? ~0ull : 0ull;
+    for (std::size_t w = 0; w < nwords; ++w) words[w] = fill;
+  } else {
+    for (std::size_t w = 0; w < nwords; ++w) {
+      const std::size_t base = w * 64;
+      const unsigned n =
+          static_cast<unsigned>(nbits - base < 64 ? nbits - base : 64);
+      std::uint64_t m = 0;
+      for (unsigned j = 0; j < n; ++j) {
+        // Exactly bernoulli(p)'s draw, in per-bit order (bit 0 first).
+        if (uniform01() < p) m |= 1ull << j;
+      }
+      words[w] = m;
+    }
+  }
+  if (nbits % 64 != 0 && nwords > 0) {
+    words[nwords - 1] &= (1ull << (nbits % 64)) - 1;
+  }
+}
+
 std::uint64_t Rng::derive_stream_seed(std::uint64_t base, std::uint64_t stream,
                                       std::uint64_t index) {
   // Chain three splitmix64 steps so every input word is fully mixed before

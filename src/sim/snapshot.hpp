@@ -20,7 +20,11 @@
 //   forked-vs-cold sweep gates assert.
 //
 // Error model: SnapshotReader throws SnapshotError on any mismatch (bad
-// magic/version/tag, short read, trailing bytes in a section). A snapshot
+// magic/version/tag, short read, trailing bytes in a section, corrupted
+// payload). The stream carries a trailing FNV-1a checksum over every
+// preceding byte, verified before any field is consumed -- a truncated
+// or bit-flipped image always throws instead of silently restoring
+// wrong state (property-tested by sim_test_snapshot_fuzz). A snapshot
 // is only ever read by the build that wrote it (in-memory fork images),
 // so there is no cross-version migration -- the version bump is a guard,
 // not a compatibility scheme.
@@ -42,7 +46,17 @@
 namespace btsc::sim {
 
 inline constexpr std::uint32_t kSnapshotMagic = 0x42545343u;    // "BTSC"
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+inline constexpr std::uint32_t kSnapshotVersion = 2;
+
+/// FNV-1a 64-bit hash of `n` bytes; the snapshot integrity checksum.
+inline std::uint64_t snapshot_checksum(const std::uint8_t* p, std::size_t n) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
 
 /// Builds a section tag from a 4-character literal ("ENV ").
 constexpr std::uint32_t snapshot_tag(const char (&s)[5]) {
@@ -98,9 +112,11 @@ class SnapshotWriter {
     std::memcpy(buf_.data() + at, &len, 4);
   }
 
-  /// The finished stream. Every begin_section must have been closed.
+  /// The finished stream, sealed with the trailing integrity checksum.
+  /// Every begin_section must have been closed.
   std::vector<std::uint8_t> take() {
     if (!open_.empty()) throw SnapshotError("snapshot: unclosed section");
+    u64(snapshot_checksum(buf_.data(), buf_.size()));
     return std::move(buf_);
   }
   const std::vector<std::uint8_t>& buffer() const { return buf_; }
@@ -124,6 +140,16 @@ class SnapshotReader {
     if (const std::uint32_t v = u32(); v != kSnapshotVersion) {
       throw SnapshotError("snapshot: version mismatch: " + std::to_string(v));
     }
+    // Verify the trailing checksum before any field is consumed, then
+    // hide it from the payload view: a truncated or bit-flipped stream
+    // must throw here rather than restore corrupted state downstream.
+    if (size_ - pos_ < 8) throw SnapshotError("snapshot: short read");
+    std::uint64_t want;
+    std::memcpy(&want, data_ + size_ - 8, 8);
+    if (snapshot_checksum(data_, size_ - 8) != want) {
+      throw SnapshotError("snapshot: checksum mismatch");
+    }
+    size_ -= 8;
   }
 
   std::uint8_t u8() {

@@ -1,5 +1,7 @@
 #include "sim/tracer.hpp"
 
+#include <algorithm>
+#include <cassert>
 #include <stdexcept>
 
 #include "sim/environment.hpp"
@@ -15,6 +17,7 @@ VcdTracer::~VcdTracer() { close(); }
 
 void VcdTracer::close() {
   if (out_.is_open()) {
+    flush_before(~0ull);
     if (!header_written_) write_header();
     out_.flush();
     out_.close();
@@ -33,7 +36,7 @@ std::string VcdTracer::vcd_id(TraceId id) {
 
 TraceId VcdTracer::declare(const std::string& name, unsigned width,
                            const std::string& initial) {
-  if (header_written_) {
+  if (started_) {
     throw std::logic_error(
         "VcdTracer: declare() after tracing started (construct all modules "
         "before running)");
@@ -67,25 +70,64 @@ void VcdTracer::write_header() {
   header_written_ = true;
 }
 
-void VcdTracer::emit_timestamp() {
-  const std::uint64_t ts = env_.now().as_ns();
-  if (ts != last_ts_) {
-    out_ << '#' << ts << '\n';
-    last_ts_ = ts;
+void VcdTracer::flush_before(std::uint64_t limit_ns) {
+  if (pending_.empty()) return;
+  // Canonical emission order: (time, id), insertion-stable within a
+  // pair. Both the per-bit path and the backfilled burst path produce
+  // the same (time, id, value) changes, so sorting makes the two files
+  // byte-identical regardless of which order the changes arrived in.
+  std::stable_sort(pending_.begin(), pending_.end(),
+                   [](const Pending& a, const Pending& b) {
+                     return a.time_ns != b.time_ns ? a.time_ns < b.time_ns
+                                                   : a.id < b.id;
+                   });
+  std::size_t n = 0;
+  while (n < pending_.size() && pending_[n].time_ns < limit_ns) ++n;
+  if (n == 0) return;
+  if (!header_written_) write_header();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Pending& p = pending_[i];
+    Var& var = vars_.at(p.id);
+    // Duplicate suppression in canonical order, so it matches the
+    // per-bit reference no matter how the changes were submitted.
+    if (var.last == p.value) continue;
+    var.last = p.value;
+    if (p.time_ns != last_ts_) {
+      out_ << '#' << p.time_ns << '\n';
+      last_ts_ = p.time_ns;
+    }
+    if (var.width == 1) {
+      out_ << p.value << vcd_id(p.id) << '\n';
+    } else {
+      out_ << 'b' << p.value << ' ' << vcd_id(p.id) << '\n';
+    }
   }
+  pending_.erase(pending_.begin(),
+                 pending_.begin() + static_cast<std::ptrdiff_t>(n));
 }
 
 void VcdTracer::change(TraceId id, const std::string& value) {
-  if (!header_written_) write_header();
-  Var& var = vars_.at(id);
-  if (var.last == value) return;
-  var.last = value;
-  emit_timestamp();
-  if (var.width == 1) {
-    out_ << value << vcd_id(id) << '\n';
-  } else {
-    out_ << 'b' << value << ' ' << vcd_id(id) << '\n';
-  }
+  assert(id < vars_.size() && "VcdTracer: change on undeclared id");
+  started_ = true;
+  pending_.push_back({env_.now().as_ns(), id, value});
+  // Entries strictly before the current instant are final (no hold is
+  // open, so no backfill can still land among them); stream them out.
+  if (holds_ == 0) flush_before(env_.now().as_ns());
+}
+
+void VcdTracer::change_at(TraceId id, const std::string& value,
+                          std::uint64_t time_ns) {
+  assert(id < vars_.size() && "VcdTracer: change_at on undeclared id");
+  assert(time_ns <= env_.now().as_ns() && "VcdTracer: backfill in the future");
+  started_ = true;
+  pending_.push_back({time_ns, id, value});
+}
+
+void VcdTracer::begin_hold() { ++holds_; }
+
+void VcdTracer::end_hold() {
+  assert(holds_ > 0 && "VcdTracer: unbalanced end_hold");
+  if (--holds_ == 0) flush_before(env_.now().as_ns());
 }
 
 TraceId RecordingTracer::declare(const std::string& name, unsigned,

@@ -110,18 +110,22 @@ TEST(BurstTransportTest, SoleTransmitterRunIsAcceptedAndCounted) {
   EXPECT_EQ(tx.bits_sent(), 100u);
 }
 
-TEST(BurstTransportTest, RefusedWhenBerPositiveOrDelayed) {
-  {
-    Environment env;
-    ChannelConfig cfg;
-    cfg.ber = 0.01;
-    NoisyChannel ch(env, "ch", cfg);
-    Radio tx(env, "tx", ch);
-    tx.transmit(0, BitVector(10, true));
-    env.run(20_us);
-    EXPECT_EQ(ch.bits_burst(), 0u);  // per-bit path took it
-    EXPECT_EQ(ch.bits_driven(), 10u);
-  }
+TEST(BurstTransportTest, NoisyPacketsBurstViaErrorMask) {
+  // BER > 0 no longer forces the per-bit path: the run pre-draws its
+  // noise flips as an error mask and still transports in one burst.
+  Environment env;
+  ChannelConfig cfg;
+  cfg.ber = 0.01;
+  NoisyChannel ch(env, "ch", cfg);
+  Radio tx(env, "tx", ch);
+  tx.transmit(0, BitVector(10, true));
+  env.run(20_us);
+  EXPECT_EQ(ch.bits_burst(), 10u);
+  EXPECT_EQ(ch.bits_driven(), 10u);
+  EXPECT_EQ(ch.burst_fallbacks(), 0u);
+}
+
+TEST(BurstTransportTest, RefusedWhenDelayedOrDisabled) {
   {
     Environment env;
     ChannelConfig cfg;
