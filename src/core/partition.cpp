@@ -1,0 +1,57 @@
+#include "core/partition.hpp"
+
+#include <atomic>
+#include <stdexcept>
+
+namespace btsc::core {
+
+namespace {
+
+std::atomic<int>& shard_default() {
+  static std::atomic<int> shards{1};
+  return shards;
+}
+
+}  // namespace
+
+void set_shard_request_default(int shards) {
+  if (shards < 1) throw std::invalid_argument("set_shard_request_default: < 1");
+  shard_default().store(shards, std::memory_order_relaxed);
+}
+
+int shard_request_default() {
+  return shard_default().load(std::memory_order_relaxed);
+}
+
+ShardPlan plan_shards(int requested, int num_piconets, sim::SimTime rf_delay) {
+  if (num_piconets < 1) {
+    throw std::invalid_argument("plan_shards: need at least one piconet");
+  }
+  if (requested <= 0) requested = shard_request_default();
+
+  ShardPlan plan;
+  plan.num_shards = requested;
+  if (plan.num_shards > num_piconets) {
+    // A piconet is the partitioning unit (its master/slave timing is a
+    // single tightly-coupled state machine), so extra shards would sit
+    // empty; clamping keeps the event streams -- and hence the output
+    // bytes -- independent of the requested surplus.
+    plan.num_shards = num_piconets;
+    plan.fused_reason = "clamped to one shard per piconet";
+  }
+  if (plan.num_shards > 1 && rf_delay == sim::SimTime::zero()) {
+    plan.num_shards = 1;
+    plan.fused_reason =
+        "rf_delay is zero, so the conservative lookahead is zero; coupled "
+        "piconets are fused into one shard (no rollback machinery exists)";
+  }
+  plan.lookahead =
+      plan.num_shards > 1 ? rf_delay : sim::SimTime::zero();
+  plan.piconet_shard.resize(static_cast<std::size_t>(num_piconets));
+  for (int p = 0; p < num_piconets; ++p) {
+    plan.piconet_shard[static_cast<std::size_t>(p)] = p % plan.num_shards;
+  }
+  return plan;
+}
+
+}  // namespace btsc::core

@@ -49,6 +49,11 @@ struct ScenarioRequest {
   /// sample streams; kCold/kFork share a per-point warm-up seed and are
   /// bitwise equivalent to each other, not to kLegacy.
   WarmupMode warmup = WarmupMode::kLegacy;
+  /// Shard request applied (as the process-wide default, restored
+  /// afterwards) while this scenario runs; 0 = leave the current
+  /// default. The partition planner fuses/clamps per scenario, so the
+  /// result bytes are invariant to this value -- gated in ci.sh.
+  int shards = 0;
 };
 
 /// A completed sweep: a titled table plus the metadata needed to

@@ -1,0 +1,54 @@
+// Portable cross-shard event records.
+//
+// When a scenario runs as several Environment shards under a
+// sim::ShardGroup (sim/shard.hpp), state changes that cross a shard
+// boundary are not delivered as direct callbacks: the source side
+// publishes a CrossShardEvent -- a plain-data record with no pointers
+// into the source shard -- and the destination side receives it at the
+// next rendezvous barrier and re-materialises it as a local timed
+// callback. Keeping the record portable is what makes the exchange
+// order a pure function of the configuration: the group can sort the
+// merged inbox by (when, src_shard, seq) before delivery, and a
+// snapshot can serialize the re-materialised timer like any other
+// tagged timer.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace btsc::sim {
+
+/// One boundary-crossing event. The (src_shard, seq) pair identifies
+/// the publication uniquely; `when` is the absolute instant at which
+/// the destination shard must apply it (source time + lookahead, so it
+/// is always in the destination's future at exchange time). The
+/// remaining fields are the payload: `kind` is a discriminator owned
+/// by the endpoint, and port/freq/value carry a PHY drive change --
+/// the only cross-shard traffic the RF layer produces today.
+struct CrossShardEvent {
+  std::uint32_t domain = 0;     ///< coupling domain (one replicated medium)
+  std::uint32_t src_shard = 0;  ///< publishing shard id
+  std::uint64_t seq = 0;        ///< per-shard publication counter
+  SimTime when;                 ///< absolute application instant
+  std::uint16_t kind = 0;       ///< endpoint-owned payload discriminator
+  std::uint32_t port = 0;       ///< source-side port id of the transmitter
+  std::int16_t freq = -1;       ///< carrier (-1 = unmodulated / release)
+  std::uint8_t value = 0;       ///< encoded phy::Logic4 level
+};
+
+/// Destination-side receiver of cross-shard events. An endpoint is
+/// bound to (domain, shard) in a ShardGroup; at each rendezvous the
+/// group hands it the merged, ordered events addressed to its shard.
+/// The endpoint must not mutate foreign-shard state: the contract is
+/// to schedule a *local* tagged timer at ev.when that applies the
+/// change (tagged so sharded scenarios stay snapshotable).
+class CrossShardEndpoint {
+ public:
+  virtual void deliver_cross_shard(const CrossShardEvent& ev) = 0;
+
+ protected:
+  ~CrossShardEndpoint() = default;
+};
+
+}  // namespace btsc::sim

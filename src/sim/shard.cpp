@@ -1,0 +1,230 @@
+#include "sim/shard.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+namespace btsc::sim {
+
+// ---------------------------------------------------------------------------
+// ShardBarrier
+// ---------------------------------------------------------------------------
+
+struct ShardBarrier::Impl {
+  std::mutex mu;
+  std::condition_variable cv;
+  int waiting = 0;
+  std::uint64_t generation = 0;
+};
+
+ShardBarrier::ShardBarrier(int parties)
+    : impl_(std::make_unique<Impl>()), parties_(parties) {
+  if (parties < 1) throw std::invalid_argument("ShardBarrier: parties < 1");
+}
+
+ShardBarrier::~ShardBarrier() = default;
+
+void ShardBarrier::arrive_and_wait() {
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  const std::uint64_t gen = impl_->generation;
+  if (++impl_->waiting == parties_) {
+    impl_->waiting = 0;
+    ++impl_->generation;
+    impl_->cv.notify_all();
+    return;
+  }
+  impl_->cv.wait(lock, [this, gen] { return impl_->generation != gen; });
+}
+
+// ---------------------------------------------------------------------------
+// ShardGroup
+// ---------------------------------------------------------------------------
+
+ShardGroup::ShardGroup(SimTime lookahead) : lookahead_(lookahead) {}
+
+ShardGroup::~ShardGroup() { stop_workers(); }
+
+std::uint32_t ShardGroup::add_shard(Environment& env) {
+  if (!workers_.empty())
+    throw std::logic_error("ShardGroup: add_shard after first parallel run");
+  if (env.now() != now_)
+    throw std::logic_error("ShardGroup: shard clock differs from group clock");
+  const auto id = static_cast<std::uint32_t>(shards_.size());
+  env.set_shard_id(id);
+  Shard s;
+  s.env = &env;
+  shards_.push_back(std::move(s));
+  return id;
+}
+
+Environment& ShardGroup::shard_env(std::uint32_t shard) const {
+  return *shards_.at(shard).env;
+}
+
+void ShardGroup::bind_endpoint(std::uint32_t domain, std::uint32_t shard,
+                               CrossShardEndpoint* endpoint) {
+  if (shard >= shards_.size())
+    throw std::out_of_range("ShardGroup: bind_endpoint on unknown shard");
+  if (endpoint == nullptr)
+    throw std::invalid_argument("ShardGroup: null endpoint");
+  endpoints_.push_back(Endpoint{domain, shard, endpoint});
+}
+
+bool ShardGroup::coupled(std::uint32_t domain, std::uint32_t shard) const {
+  for (const auto& e : endpoints_)
+    if (e.domain == domain && e.shard != shard) return true;
+  return false;
+}
+
+void ShardGroup::publish(std::uint32_t domain, std::uint32_t src_shard,
+                         SimTime when, std::uint16_t kind, std::uint32_t port,
+                         std::int16_t freq, std::uint8_t value) {
+  Shard& s = shards_.at(src_shard);
+  CrossShardEvent ev;
+  ev.domain = domain;
+  ev.src_shard = src_shard;
+  ev.seq = s.pub_seq++;
+  ev.when = when;
+  ev.kind = kind;
+  ev.port = port;
+  ev.freq = freq;
+  ev.value = value;
+  s.outbox.push_back(ev);
+}
+
+void ShardGroup::set_lanes(int lanes) {
+  if (lanes < 1) throw std::invalid_argument("ShardGroup: lanes < 1");
+  if (!workers_.empty())
+    throw std::logic_error("ShardGroup: set_lanes after first parallel run");
+  lanes_ = lanes;
+}
+
+int ShardGroup::effective_lanes() const {
+  const int n = static_cast<int>(shards_.size());
+  return lanes_ < n ? lanes_ : n;
+}
+
+void ShardGroup::run_until(SimTime until) {
+  if (shards_.empty()) throw std::logic_error("ShardGroup: no shards");
+  if (shards_.size() > 1 && lookahead_ == SimTime::zero())
+    throw std::logic_error(
+        "ShardGroup: zero lookahead cannot drive more than one shard "
+        "(conservative windows would be empty); fuse the scenario instead");
+  while (now_ < until) {
+    SimTime window_end =
+        shards_.size() > 1 ? now_ + lookahead_ : until;
+    if (window_end > until) window_end = until;
+    run_window(window_end);
+    now_ = window_end;
+    exchange(window_end);
+  }
+}
+
+void ShardGroup::run_window(SimTime window_end) {
+  const int lanes = effective_lanes();
+  if (lanes <= 1) {
+    for (auto& s : shards_) s.env->run_until(window_end);
+    return;
+  }
+  if (workers_.empty()) start_workers(lanes);
+  window_end_ = window_end;
+  start_barrier_->arrive_and_wait();  // releases workers into the window
+  run_lane(0, window_end);
+  end_barrier_->arrive_and_wait();  // all lanes done
+  for (auto& err : lane_errors_) {
+    if (err) {
+      std::exception_ptr e = err;
+      err = nullptr;
+      std::rethrow_exception(e);
+    }
+  }
+}
+
+void ShardGroup::run_lane(int lane, SimTime window_end) {
+  const int lanes = effective_lanes();
+  try {
+    for (std::size_t i = static_cast<std::size_t>(lane); i < shards_.size();
+         i += static_cast<std::size_t>(lanes))
+      shards_[i].env->run_until(window_end);
+  } catch (...) {
+    lane_errors_[static_cast<std::size_t>(lane)] = std::current_exception();
+  }
+}
+
+void ShardGroup::exchange(SimTime window_end) {
+  // Route every published event to the other endpoints of its domain.
+  // Iterating shards then endpoints in registration order keeps the
+  // routing order fixed; the destination inbox is sorted by
+  // (when, src_shard, seq) before delivery, so the final dispatch
+  // order is value-driven either way.
+  for (auto& s : shards_) {
+    for (const auto& ev : s.outbox) {
+      if (ev.when < window_end)
+        throw std::logic_error(
+            "ShardGroup: lookahead violated -- event published for an "
+            "instant before the window boundary");
+      for (const auto& e : endpoints_) {
+        if (e.domain != ev.domain || e.shard == ev.src_shard) continue;
+        shards_[e.shard].env->post_cross_shard(ev, e.endpoint);
+        ++events_exchanged_;
+      }
+    }
+    s.outbox.clear();
+  }
+  for (auto& s : shards_) s.env->deliver_cross_shard();
+}
+
+void ShardGroup::align_now() {
+  if (shards_.empty()) throw std::logic_error("ShardGroup: no shards");
+  const SimTime t = shards_.front().env->now();
+  for (const auto& s : shards_)
+    if (s.env->now() != t)
+      throw std::logic_error("ShardGroup: shard clocks disagree in align_now");
+  now_ = t;
+}
+
+Environment::SchedulerStats ShardGroup::scheduler_stats() const {
+  Environment::SchedulerStats total;
+  for (const auto& s : shards_) {
+    const auto st = s.env->scheduler_stats();
+    total.scheduled += st.scheduled;
+    total.fired += st.fired;
+    total.canceled += st.canceled;
+    total.cancels_after_fire += st.cancels_after_fire;
+    total.wheel_hits += st.wheel_hits;
+    total.heap_overflow += st.heap_overflow;
+    total.live += st.live;
+    total.peak_live = std::max(total.peak_live, st.peak_live);
+    total.peak_depth = std::max(total.peak_depth, st.peak_depth);
+  }
+  return total;
+}
+
+void ShardGroup::start_workers(int lanes) {
+  start_barrier_ = std::make_unique<ShardBarrier>(lanes);
+  end_barrier_ = std::make_unique<ShardBarrier>(lanes);
+  lane_errors_.assign(static_cast<std::size_t>(lanes), nullptr);
+  stop_ = false;
+  for (int lane = 1; lane < lanes; ++lane) {
+    workers_.emplace_back([this, lane] {
+      for (;;) {
+        start_barrier_->arrive_and_wait();
+        if (stop_) return;
+        run_lane(lane, window_end_);
+        end_barrier_->arrive_and_wait();
+      }
+    });
+  }
+}
+
+void ShardGroup::stop_workers() {
+  if (workers_.empty()) return;
+  stop_ = true;
+  start_barrier_->arrive_and_wait();
+  for (auto& t : workers_) t.join();
+  workers_.clear();
+}
+
+}  // namespace btsc::sim

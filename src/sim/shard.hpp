@@ -1,0 +1,177 @@
+// Conservative parallel shard execution.
+//
+// A ShardGroup runs N Environment shards in lockstep windows of length
+// `lookahead`, the classic conservative (no-rollback) parallel DES
+// scheme. The lookahead comes from the physics of the model: a drive
+// change published at source time t cannot take effect anywhere else
+// before t + rf_delay, so as long as every coupled channel's rf_delay
+// is at least the group lookahead, a shard can execute a whole window
+// [W, W + lookahead) without ever missing an incoming event. At the
+// window boundary every shard stops at a rendezvous barrier, the
+// group routes each shard's published CrossShardEvents to the other
+// shards in the same coupling domain, each destination drains its
+// inbox in (when, src_shard, seq) merge order, and the next window
+// starts. No shard ever receives an event in its past, so there is no
+// rollback machinery anywhere.
+//
+// Determinism
+// -----------
+// The exchange is the only point where shards interact, and it is
+// driven entirely by values: publication order within a shard is the
+// shard's own deterministic execution order (captured in `seq`), and
+// the merged inbox is sorted by (when, src_shard, seq) before
+// delivery. Same-instant cross-shard events therefore enter the
+// destination's timed queue in a fixed order -- a pure function of
+// the configuration -- regardless of how many worker lanes executed
+// the window or how the OS scheduled them. Lane threads never share
+// mutable state: each lane owns a disjoint set of shards for the
+// whole run, and the barrier provides the happens-before edges for
+// the single-threaded exchange in between.
+//
+// Zero lookahead
+// --------------
+// rf_delay == 0 (the paper's default) means zero lookahead, and a
+// conservative scheme cannot run coupled shards in parallel with zero
+// lookahead -- the window would be empty. ShardGroup refuses to run
+// more than one shard in that case; the partitioning layer
+// (core/partition.hpp) detects it up front and fuses the scenario
+// into a single shard instead, which is exactly what keeps
+// `--shards N` byte-identical to `--shards 1` on the paper studies.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "sim/cross_shard.hpp"
+#include "sim/environment.hpp"
+#include "sim/time.hpp"
+
+namespace btsc::sim {
+
+/// Reusable N-party rendezvous barrier (generation-counting, so the
+/// same object serves every window of the run). arrive_and_wait()
+/// blocks until all parties of the current generation have arrived.
+class ShardBarrier {
+ public:
+  explicit ShardBarrier(int parties);
+  ~ShardBarrier();
+
+  ShardBarrier(const ShardBarrier&) = delete;
+  ShardBarrier& operator=(const ShardBarrier&) = delete;
+
+  void arrive_and_wait();
+  int parties() const { return parties_; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  int parties_;
+};
+
+class ShardGroup {
+ public:
+  /// `lookahead` is the lockstep window length. It must be positive
+  /// for any group that will hold more than one shard; a zero
+  /// lookahead group can only ever run a single (trivially fused)
+  /// shard.
+  explicit ShardGroup(SimTime lookahead);
+  ~ShardGroup();
+
+  ShardGroup(const ShardGroup&) = delete;
+  ShardGroup& operator=(const ShardGroup&) = delete;
+
+  /// Registers `env` as the next shard and stamps its shard id
+  /// (Environment::set_shard_id). All shards must be added before the
+  /// first run and must sit at the same current time as the group.
+  std::uint32_t add_shard(Environment& env);
+
+  std::size_t num_shards() const { return shards_.size(); }
+  SimTime lookahead() const { return lookahead_; }
+  SimTime now() const { return now_; }
+  Environment& shard_env(std::uint32_t shard) const;
+
+  /// Couples `endpoint` (living on `shard`) into coupling `domain`.
+  /// Every event published into the domain is delivered to every
+  /// *other* bound endpoint of the same domain -- the source never
+  /// hears its own publications back.
+  void bind_endpoint(std::uint32_t domain, std::uint32_t shard,
+                     CrossShardEndpoint* endpoint);
+
+  /// True if `shard` has at least one remote peer in `domain` --
+  /// i.e. events published from it will actually cross a boundary.
+  bool coupled(std::uint32_t domain, std::uint32_t shard) const;
+
+  /// Publishes a boundary-crossing event from `src_shard`. Called
+  /// from inside the source shard's execution (possibly on a lane
+  /// thread); appends to the source shard's private outbox, so no
+  /// locking is needed. `when` must be at least the end of the
+  /// current window (enforced at exchange time): with the rf_delay >=
+  /// lookahead precondition this holds by construction.
+  void publish(std::uint32_t domain, std::uint32_t src_shard, SimTime when,
+               std::uint16_t kind, std::uint32_t port, std::int16_t freq,
+               std::uint8_t value);
+
+  /// Number of worker lanes for window execution. Shard i is pinned
+  /// to lane i % lanes for the whole run, so results are invariant to
+  /// the lane count. 1 (or a single shard) runs everything inline.
+  void set_lanes(int lanes);
+  int lanes() const { return lanes_; }
+
+  /// Runs every shard to `until` in lockstep lookahead windows with a
+  /// cross-shard exchange at each window boundary. Throws
+  /// std::logic_error for a multi-shard group with zero lookahead.
+  void run_until(SimTime until);
+  void run(SimTime duration) { run_until(now_ + duration); }
+
+  /// Re-reads the group clock from the shards after an external time
+  /// change (snapshot restore). All shards must agree.
+  void align_now();
+
+  /// Sum of every shard's kernel counters, folded in shard order
+  /// (stats are additive except peak_live/peak_depth, which take the
+  /// max). Shard-count and lane-count invariant for a fixed plan.
+  Environment::SchedulerStats scheduler_stats() const;
+
+  /// Cross-shard exchange telemetry: events routed so far.
+  std::uint64_t events_exchanged() const { return events_exchanged_; }
+
+ private:
+  struct Shard {
+    Environment* env = nullptr;
+    std::vector<CrossShardEvent> outbox;
+    std::uint64_t pub_seq = 0;
+  };
+  struct Endpoint {
+    std::uint32_t domain = 0;
+    std::uint32_t shard = 0;
+    CrossShardEndpoint* endpoint = nullptr;
+  };
+
+  int effective_lanes() const;
+  void run_window(SimTime window_end);
+  void run_lane(int lane, SimTime window_end);
+  void exchange(SimTime window_end);
+  void start_workers(int lanes);
+  void stop_workers();
+
+  SimTime lookahead_;
+  SimTime now_ = SimTime::zero();
+  int lanes_ = 1;
+  std::vector<Shard> shards_;
+  std::vector<Endpoint> endpoints_;
+  std::uint64_t events_exchanged_ = 0;
+
+  // Worker-lane machinery (created lazily on the first multi-lane
+  // window; lane 0 is the calling thread).
+  std::vector<std::thread> workers_;
+  std::unique_ptr<ShardBarrier> start_barrier_;
+  std::unique_ptr<ShardBarrier> end_barrier_;
+  std::vector<std::exception_ptr> lane_errors_;
+  SimTime window_end_ = SimTime::zero();
+  bool stop_ = false;
+};
+
+}  // namespace btsc::sim

@@ -76,11 +76,15 @@ void VcdTracer::flush_before(std::uint64_t limit_ns) {
   // pair. Both the per-bit path and the backfilled burst path produce
   // the same (time, id, value) changes, so sorting makes the two files
   // byte-identical regardless of which order the changes arrived in.
-  std::stable_sort(pending_.begin(), pending_.end(),
-                   [](const Pending& a, const Pending& b) {
-                     return a.time_ns != b.time_ns ? a.time_ns < b.time_ns
-                                                   : a.id < b.id;
-                   });
+  // The explicit seq tie-break makes the order total so plain sort
+  // suffices; stable_sort's temporary buffer pairs operator new with
+  // free under some allocator interpositions, which ASan rejects.
+  std::sort(pending_.begin(), pending_.end(),
+            [](const Pending& a, const Pending& b) {
+              if (a.time_ns != b.time_ns) return a.time_ns < b.time_ns;
+              if (a.id != b.id) return a.id < b.id;
+              return a.seq < b.seq;
+            });
   std::size_t n = 0;
   while (n < pending_.size() && pending_[n].time_ns < limit_ns) ++n;
   if (n == 0) return;
@@ -109,7 +113,7 @@ void VcdTracer::flush_before(std::uint64_t limit_ns) {
 void VcdTracer::change(TraceId id, const std::string& value) {
   assert(id < vars_.size() && "VcdTracer: change on undeclared id");
   started_ = true;
-  pending_.push_back({env_.now().as_ns(), id, value});
+  pending_.push_back({env_.now().as_ns(), id, value, pending_seq_++});
   // Entries strictly before the current instant are final (no hold is
   // open, so no backfill can still land among them); stream them out.
   if (holds_ == 0) flush_before(env_.now().as_ns());
@@ -120,7 +124,7 @@ void VcdTracer::change_at(TraceId id, const std::string& value,
   assert(id < vars_.size() && "VcdTracer: change_at on undeclared id");
   assert(time_ns <= env_.now().as_ns() && "VcdTracer: backfill in the future");
   started_ = true;
-  pending_.push_back({time_ns, id, value});
+  pending_.push_back({time_ns, id, value, pending_seq_++});
 }
 
 void VcdTracer::begin_hold() { ++holds_; }

@@ -111,6 +111,7 @@ class VcdTracer final : public Tracer {
     std::uint64_t time_ns;
     TraceId id;
     std::string value;
+    std::uint64_t seq;  // insertion order; makes the flush order total
   };
 
   void write_header();
@@ -128,6 +129,7 @@ class VcdTracer final : public Tracer {
   std::ofstream out_;
   std::vector<Var> vars_;
   std::vector<Pending> pending_;
+  std::uint64_t pending_seq_ = 0;
   int holds_ = 0;
   bool started_ = false;  // a change has been recorded; declare() closed
   bool header_written_ = false;
