@@ -38,7 +38,22 @@ void print_usage() {
       "  --checkpoint-warmup  fork each replication from a per-point warm-up\n"
       "                       snapshot (bitwise equal to --cold-warmup)\n"
       "  --cold-warmup        staged replications, warm-up re-run every time\n"
-      "                       (reference semantics of --checkpoint-warmup)\n");
+      "                       (reference semantics of --checkpoint-warmup)\n"
+      "  --checkpoint-dir DIR spill/load the per-point warm-up snapshots as\n"
+      "                       durable checkpoint files (with\n"
+      "                       --checkpoint-warmup)\n"
+      "  --journal FILE       fsync each completed replication to an\n"
+      "                       append-only journal (crash-safe progress)\n"
+      "  --resume             skip replications already in --journal FILE;\n"
+      "                       output is byte-identical to an uninterrupted\n"
+      "                       run (kernel telemetry aside)\n"
+      "  --rep-timeout S      per-replication deadline in seconds; overruns\n"
+      "                       are quarantined, the sweep completes\n"
+      "  --max-retries N      retry a throwing replication N times (with\n"
+      "                       backoff) before quarantining it\n"
+      "  --keep-going         quarantine failing replications instead of\n"
+      "                       aborting the sweep (exit code 3 if any)\n"
+      "  --quarantine-out F   write the JSON quarantine report to F\n");
 }
 
 void print_list() {

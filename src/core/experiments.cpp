@@ -293,6 +293,22 @@ void CreationPoint::merge(const CreationPoint& other) {
   page_ok.merge(other.page_ok);
 }
 
+void CreationPoint::save_state(sim::SnapshotWriter& w) const {
+  w.f64(ber);
+  inquiry_slots.save_state(w);
+  page_slots.save_state(w);
+  inquiry_ok.save_state(w);
+  page_ok.save_state(w);
+}
+
+void CreationPoint::restore_state(sim::SnapshotReader& r) {
+  ber = r.f64();
+  inquiry_slots.restore_state(r);
+  page_slots.restore_state(r);
+  inquiry_ok.restore_state(r);
+  page_ok.restore_state(r);
+}
+
 CreationSample run_creation_replication(double ber, std::uint64_t seed,
                                         std::uint32_t timeout_slots) {
   BluetoothSystem sys(creation_config(ber, timeout_slots, seed));

@@ -84,6 +84,11 @@ struct CreationPoint {
   void add(const CreationSample& s);
   /// Merges another point's partials (parallel reduction).
   void merge(const CreationPoint& other);
+
+  /// Journal codec (runner sweep resume): serializes the aggregate so a
+  /// completed replication can be replayed from disk byte-for-byte.
+  void save_state(sim::SnapshotWriter& w) const;
+  void restore_state(sim::SnapshotReader& r);
 };
 
 /// Runs ONE 2-device creation (inquiry, then page if the inquiry

@@ -227,7 +227,9 @@ class Report {
 /// Shared command-line knobs for the figure benches and btsc-sweep:
 /// --seeds/--replications N, --quick, --csv, --json, --threads N,
 /// --out FILE, --base-seed S, --max-points N, --shards N,
-/// --checkpoint-warmup, --cold-warmup. Unknown arguments are ignored
+/// --checkpoint-warmup, --cold-warmup, --checkpoint-dir DIR,
+/// --journal FILE, --resume, --rep-timeout S, --max-retries N,
+/// --keep-going, --quarantine-out FILE. Unknown arguments are ignored
 /// (each main may parse extras of its own).
 struct BenchArgs {
   /// Replications per point; 0 = scenario/bench default.
@@ -266,6 +268,28 @@ struct BenchArgs {
   /// byte-identical at any value -- genuine parallelism needs a
   /// scenario with rf_delay > 0.
   int shards = 0;
+  /// Append-only results journal file (--journal); empty = none. Every
+  /// completed replication is fsync'd there, enabling --resume.
+  std::string journal;
+  /// Resume from an existing journal instead of refusing to overwrite
+  /// it (--resume; requires --journal).
+  bool resume = false;
+  /// Durable warm-up checkpoint directory (--checkpoint-dir); empty =
+  /// in-memory warm-up cache only. Applies to --checkpoint-warmup runs.
+  std::string checkpoint_dir;
+  /// Per-replication deadline in seconds (--rep-timeout); <= 0 = none.
+  /// Enables the sweep supervisor: overrunning replications are
+  /// quarantined instead of hanging the sweep.
+  double rep_timeout = 0.0;
+  /// Extra attempts for a throwing replication (--max-retries); enables
+  /// the supervisor.
+  int max_retries = 0;
+  /// Quarantine failing replications and keep sweeping (--keep-going);
+  /// enables the supervisor.
+  bool keep_going = false;
+  /// Write the machine-readable quarantine report here
+  /// (--quarantine-out); empty = stderr when non-empty quarantine.
+  std::string quarantine_out;
 
   static BenchArgs parse(int argc, char** argv) {
     // Malformed numeric values keep the previous value and warn, rather
@@ -284,6 +308,20 @@ struct BenchArgs {
         return fallback;
       }
       return static_cast<int>(v);
+    };
+    auto parse_double = [](const std::string& flag, const char* text,
+                           double fallback) {
+      char* end = nullptr;
+      errno = 0;
+      const double v = std::strtod(text, &end);
+      if (end == text || *end != '\0' || errno == ERANGE) {
+        std::fprintf(stderr,
+                     "warning: ignoring malformed or out-of-range %s "
+                     "value: %s\n",
+                     flag.c_str(), text);
+        return fallback;
+      }
+      return v;
     };
     BenchArgs a;
     for (int i = 1; i < argc; ++i) {
@@ -327,6 +365,20 @@ struct BenchArgs {
         a.max_points = parse_int(arg, argv[++i], a.max_points);
       } else if (arg == "--shards" && i + 1 < argc) {
         a.shards = parse_int(arg, argv[++i], a.shards);
+      } else if (arg == "--journal" && i + 1 < argc) {
+        a.journal = argv[++i];
+      } else if (arg == "--resume") {
+        a.resume = true;
+      } else if (arg == "--checkpoint-dir" && i + 1 < argc) {
+        a.checkpoint_dir = argv[++i];
+      } else if (arg == "--rep-timeout" && i + 1 < argc) {
+        a.rep_timeout = parse_double(arg, argv[++i], a.rep_timeout);
+      } else if (arg == "--max-retries" && i + 1 < argc) {
+        a.max_retries = parse_int(arg, argv[++i], a.max_retries);
+      } else if (arg == "--keep-going") {
+        a.keep_going = true;
+      } else if (arg == "--quarantine-out" && i + 1 < argc) {
+        a.quarantine_out = argv[++i];
       }
     }
     return a;

@@ -1,0 +1,236 @@
+#include "runner/journal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "sim/snapshot.hpp"
+
+namespace btsc::runner {
+namespace {
+
+constexpr std::uint32_t kHeaderTag = sim::snapshot_tag("JHDR");
+constexpr std::uint32_t kRecordTag = sim::snapshot_tag("JREC");
+
+[[noreturn]] void throw_io(const std::string& what, const std::string& path) {
+  throw JournalError("journal: " + what + " " + path + ": " +
+                     std::strerror(errno));
+}
+
+std::vector<std::uint8_t> encode_header(const JournalConfig& c) {
+  sim::SnapshotWriter w;
+  w.begin_section(kHeaderTag);
+  w.str(c.scenario);
+  w.u64(c.base_seed);
+  w.u32(c.replications);
+  w.u32(c.points);
+  w.b(c.quick);
+  w.u32(static_cast<std::uint32_t>(c.max_points));
+  w.b(c.common_random_numbers);
+  w.b(c.staged_warmup);
+  w.end_section();
+  return w.take();
+}
+
+JournalConfig decode_header(const std::vector<std::uint8_t>& bytes) {
+  sim::SnapshotReader r(bytes);
+  JournalConfig c;
+  r.enter_section(kHeaderTag);
+  c.scenario = r.str();
+  c.base_seed = r.u64();
+  c.replications = r.u32();
+  c.points = r.u32();
+  c.quick = r.b();
+  c.max_points = static_cast<std::int32_t>(r.u32());
+  c.common_random_numbers = r.b();
+  c.staged_warmup = r.b();
+  r.leave_section();
+  if (!r.at_end()) throw sim::SnapshotError("journal: trailing header bytes");
+  return c;
+}
+
+/// One length-prefixed block: [u32 len][payload]. A single write() call
+/// keeps the kernel-visible append atomic with respect to our own
+/// torn-tail scan (a crash tears at most the final block).
+void write_block(int fd, const std::string& path,
+                 const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> block(4 + payload.size());
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  std::memcpy(block.data(), &len, 4);
+  std::memcpy(block.data() + 4, payload.data(), payload.size());
+  std::size_t off = 0;
+  while (off < block.size()) {
+    const ssize_t n = ::write(fd, block.data() + off, block.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_io("write failed for", path);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+SweepJournal::SweepJournal(const std::string& path,
+                           const JournalConfig& config, bool resume)
+    : path_(path) {
+  const bool exists = ::access(path.c_str(), F_OK) == 0;
+  if (exists && !resume) {
+    throw JournalError("journal: " + path +
+                       " already exists; pass --resume to continue it or "
+                       "remove the file to start over");
+  }
+
+  if (exists) {
+    // Load the whole file, validate the header, keep the intact record
+    // prefix, and remember where the first torn/invalid block begins.
+    const int rfd = ::open(path.c_str(), O_RDONLY);
+    if (rfd < 0) throw_io("cannot open", path);
+    std::vector<std::uint8_t> bytes;
+    std::uint8_t buf[1 << 16];
+    for (;;) {
+      const ssize_t n = ::read(rfd, buf, sizeof(buf));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ::close(rfd);
+        throw_io("read failed for", path);
+      }
+      if (n == 0) break;
+      bytes.insert(bytes.end(), buf, buf + n);
+    }
+    ::close(rfd);
+
+    std::size_t pos = 0;
+    auto next_block =
+        [&](std::vector<std::uint8_t>& payload) -> bool {
+      if (bytes.size() - pos < 4) return false;
+      std::uint32_t len;
+      std::memcpy(&len, bytes.data() + pos, 4);
+      if (bytes.size() - pos - 4 < len) return false;
+      payload.assign(bytes.begin() + static_cast<std::ptrdiff_t>(pos) + 4,
+                     bytes.begin() + static_cast<std::ptrdiff_t>(pos) + 4 +
+                         len);
+      pos += 4 + len;
+      return true;
+    };
+
+    std::vector<std::uint8_t> payload;
+    if (!next_block(payload)) {
+      throw JournalError("journal: " + path + ": missing or torn header");
+    }
+    JournalConfig on_disk;
+    try {
+      on_disk = decode_header(payload);
+    } catch (const sim::SnapshotError& e) {
+      throw JournalError("journal: " + path + ": " + e.what());
+    }
+    if (!(on_disk == config)) {
+      throw JournalError(
+          "journal: " + path +
+          " was written by a different sweep configuration (scenario/seed/"
+          "replications/points/quick/max-points/warmup mismatch); refusing "
+          "to merge foreign samples");
+    }
+
+    std::size_t good_end = pos;
+    while (next_block(payload)) {
+      Record rec;
+      std::uint64_t point, rep;
+      try {
+        sim::SnapshotReader r(payload);
+        r.enter_section(kRecordTag);
+        point = r.u64();
+        rep = r.u64();
+        rec.seed = r.u64();
+        rec.sample = r.byte_vec();
+        r.leave_section();
+        if (!r.at_end()) {
+          throw sim::SnapshotError("journal: trailing record bytes");
+        }
+      } catch (const sim::SnapshotError&) {
+        break;  // tear starts here; everything before it is intact
+      }
+      loaded_[{point, rep}] = std::move(rec);
+      good_end = pos;
+    }
+
+    fd_ = ::open(path.c_str(), O_WRONLY, 0644);
+    if (fd_ < 0) throw_io("cannot reopen", path);
+    if (good_end != bytes.size()) {
+      // Sever the torn tail so new appends continue a valid stream.
+      if (::ftruncate(fd_, static_cast<off_t>(good_end)) != 0) {
+        const int e = errno;
+        ::close(fd_);
+        fd_ = -1;
+        errno = e;
+        throw_io("truncate failed for", path);
+      }
+    }
+    if (::lseek(fd_, 0, SEEK_END) < 0) {
+      const int e = errno;
+      ::close(fd_);
+      fd_ = -1;
+      errno = e;
+      throw_io("seek failed for", path);
+    }
+    return;
+  }
+
+  // Fresh journal: create, write the header, make it durable before the
+  // first record can land.
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+  if (fd_ < 0) throw_io("cannot create", path);
+  try {
+    write_block(fd_, path_, encode_header(config));
+  } catch (...) {
+    ::close(fd_);
+    fd_ = -1;
+    throw;
+  }
+  if (::fsync(fd_) != 0) {
+    const int e = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = e;
+    throw_io("fsync failed for", path);
+  }
+}
+
+SweepJournal::~SweepJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+const SweepJournal::Record* SweepJournal::completed(std::uint64_t point,
+                                                    std::uint64_t rep) const {
+  const auto it = loaded_.find({point, rep});
+  return it == loaded_.end() ? nullptr : &it->second;
+}
+
+void SweepJournal::append(std::uint64_t point, std::uint64_t rep,
+                          std::uint64_t seed,
+                          const std::vector<std::uint8_t>& sample) {
+  sim::SnapshotWriter w;
+  w.begin_section(kRecordTag);
+  w.u64(point);
+  w.u64(rep);
+  w.u64(seed);
+  w.byte_vec(sample);
+  w.end_section();
+  const std::vector<std::uint8_t> payload = w.take();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  write_block(fd_, path_, payload);
+  // The replication is only durable once the record is on stable
+  // storage; a crash after this sync never re-runs it. fdatasync
+  // suffices: the file size is metadata required to read the appended
+  // data back, so POSIX guarantees it is flushed too — what it skips
+  // (mtime and friends) is exactly the part the resume scan never
+  // looks at, and on journalled filesystems that saves a second
+  // metadata write per record.
+  if (::fdatasync(fd_) != 0) throw_io("fdatasync failed for", path_);
+}
+
+}  // namespace btsc::runner

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <functional>
 #include <iostream>
@@ -18,6 +20,7 @@
 #include "core/report.hpp"
 #include "core/system.hpp"
 #include "runner/sweep.hpp"
+#include "sim/checkpoint_store.hpp"
 #include "sim/environment.hpp"
 #include "stats/accumulator.hpp"
 
@@ -38,6 +41,17 @@ struct ActivitySample {
     rx.merge(o.rx);
     messages.merge(o.messages);
   }
+
+  void save_state(sim::SnapshotWriter& w) const {
+    tx.save_state(w);
+    rx.save_state(w);
+    messages.save_state(w);
+  }
+  void restore_state(sim::SnapshotReader& r) {
+    tx.restore_state(r);
+    rx.restore_state(r);
+    messages.restore_state(r);
+  }
 };
 
 /// Per-point aggregate of sweeps whose replications yield one scalar
@@ -46,6 +60,9 @@ struct ScalarSample {
   stats::Accumulator value;
 
   void merge(const ScalarSample& o) { value.merge(o.value); }
+
+  void save_state(sim::SnapshotWriter& w) const { value.save_state(w); }
+  void restore_state(sim::SnapshotReader& r) { value.restore_state(r); }
 };
 
 /// Triple of accumulators for the coexistence study.
@@ -59,6 +76,17 @@ struct CoexSample {
     retx.merge(o.retx);
     collisions.merge(o.collisions);
   }
+
+  void save_state(sim::SnapshotWriter& w) const {
+    goodput.save_state(w);
+    retx.save_state(w);
+    collisions.save_state(w);
+  }
+  void restore_state(sim::SnapshotReader& r) {
+    goodput.restore_state(r);
+    retx.restore_state(r);
+    collisions.restore_state(r);
+  }
 };
 
 /// Backoff-ablation aggregate: completion time over successful runs plus
@@ -70,6 +98,15 @@ struct BackoffPoint {
   void merge(const BackoffPoint& o) {
     slots.merge(o.slots);
     ok.merge(o.ok);
+  }
+
+  void save_state(sim::SnapshotWriter& w) const {
+    slots.save_state(w);
+    ok.save_state(w);
+  }
+  void restore_state(sim::SnapshotReader& r) {
+    slots.restore_state(r);
+    ok.restore_state(r);
   }
 };
 
@@ -83,18 +120,130 @@ struct SystemImage {
   std::uint64_t construction_seed = 0;
 };
 
+/// Little-endian construction-parameter blobs for checkpoint recipes:
+/// the point parameters the warm-up construction depends on, compared
+/// verbatim on load so a checkpoint from an edited point list is a cache
+/// miss, never a wrong restore.
+void blob_u32(std::vector<std::uint8_t>& b, std::uint32_t v) {
+  const auto at = b.size();
+  b.resize(at + 4);
+  std::memcpy(b.data() + at, &v, 4);
+}
+void blob_f64(std::vector<std::uint8_t>& b, double v) {
+  const auto at = b.size();
+  b.resize(at + 8);
+  std::memcpy(b.data() + at, &v, 8);
+}
+
+/// Durable side of the warm-up cache (--checkpoint-dir): spills each
+/// per-point warm-up image to a sim::CheckpointFile and loads it back in
+/// later processes. Strictly a cache: every failure path (missing file,
+/// corruption, stale version, recipe mismatch, write error) degrades to
+/// rebuilding the warm-up, with a warning for the non-miss cases.
+class WarmupStore {
+ public:
+  WarmupStore(std::string dir, std::string scenario)
+      : dir_(std::move(dir)), scenario_(std::move(scenario)) {}
+
+  std::optional<SystemImage> try_load(
+      std::size_t point, std::uint64_t warm_seed,
+      const std::vector<std::uint8_t>& config) const {
+    const std::string path = path_for(point, warm_seed);
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec)) return std::nullopt;
+    try {
+      sim::CheckpointFile f = sim::load_checkpoint_file(path);
+      if (f.scenario != scenario_ || f.point_index != point ||
+          f.warm_seed != warm_seed || f.config != config) {
+        std::cerr << "btsc-sweep: checkpoint " << path
+                  << ": recipe mismatch; rebuilding warm-up\n";
+        return std::nullopt;
+      }
+      return SystemImage{std::move(f.snapshot), f.construction_seed};
+    } catch (const sim::SnapshotError& e) {
+      std::cerr << "btsc-sweep: checkpoint " << path << ": " << e.what()
+                << "; rebuilding warm-up\n";
+      return std::nullopt;
+    }
+  }
+
+  void save(std::size_t point, std::uint64_t warm_seed,
+            const std::vector<std::uint8_t>& config,
+            const SystemImage& image) const {
+    sim::CheckpointFile f;
+    f.scenario = scenario_;
+    f.point_index = point;
+    f.warm_seed = warm_seed;
+    f.construction_seed = image.construction_seed;
+    f.config = config;
+    f.snapshot = image.bytes;
+    try {
+      sim::write_checkpoint_file(path_for(point, warm_seed), f);
+    } catch (const sim::SnapshotError& e) {
+      std::cerr << "btsc-sweep: checkpoint spill failed: " << e.what()
+                << "\n";
+    }
+  }
+
+ private:
+  std::string path_for(std::size_t point, std::uint64_t warm_seed) const {
+    char seed_hex[17];
+    std::snprintf(seed_hex, sizeof(seed_hex), "%016llx",
+                  static_cast<unsigned long long>(warm_seed));
+    return dir_ + "/" + scenario_ + "-p" + std::to_string(point) + "-" +
+           seed_hex + ".ckpt";
+  }
+
+  std::string dir_;
+  std::string scenario_;
+};
+
+/// The store for one scenario run, or null when --checkpoint-dir is not
+/// in play (the cache then stays purely in-memory). Creates the
+/// directory on first use.
+std::shared_ptr<const WarmupStore> make_warmup_store(
+    const ScenarioInfo& info, const ScenarioRequest& req) {
+  if (req.checkpoint_dir.empty() || req.warmup != WarmupMode::kFork) {
+    return nullptr;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(req.checkpoint_dir, ec);
+  if (ec) {
+    std::cerr << "btsc-sweep: cannot create checkpoint dir "
+              << req.checkpoint_dir << ": " << ec.message()
+              << "; continuing without spill\n";
+    return nullptr;
+  }
+  return std::make_shared<const WarmupStore>(req.checkpoint_dir, info.id);
+}
+
 /// Lazily-built per-point warm-up images, shared by every replication of
-/// a point. The first replication to arrive builds the image; workers on
-/// the same point block on the call_once until it is ready. Slots are
+/// a point. The first replication to arrive builds the image — loading
+/// it from the durable store when one is attached and a valid checkpoint
+/// exists, spilling the freshly-built image otherwise; workers on the
+/// same point block on the call_once until it is ready. Slots are
 /// allocated up front and never moved (std::once_flag is immovable).
 class WarmupCache {
  public:
-  explicit WarmupCache(std::size_t points) : slots_(points) {}
+  explicit WarmupCache(std::size_t points,
+                       std::shared_ptr<const WarmupStore> store = nullptr)
+      : slots_(points), store_(std::move(store)) {}
 
   template <class Make>
-  const SystemImage& get(std::size_t point, Make&& make) {
+  const SystemImage& get(std::size_t point, std::uint64_t warm_seed,
+                         const std::vector<std::uint8_t>& config,
+                         Make&& make) {
     Slot& s = slots_.at(point);
-    std::call_once(s.once, [&] { s.image = make(); });
+    std::call_once(s.once, [&] {
+      if (store_ != nullptr) {
+        if (auto img = store_->try_load(point, warm_seed, config)) {
+          s.image = std::move(*img);
+          return;
+        }
+      }
+      s.image = make();
+      if (store_ != nullptr) store_->save(point, warm_seed, config, s.image);
+    });
     return s.image;
   }
 
@@ -104,6 +253,7 @@ class WarmupCache {
     SystemImage image;
   };
   std::vector<Slot> slots_;
+  std::shared_ptr<const WarmupStore> store_;
 };
 
 /// The base seed the sweep will actually run with (mirrors the
@@ -140,6 +290,9 @@ std::vector<Sample> sweep_points(
                                       : info.default_replications);
   opt.base_seed = req.base_seed != 0 ? req.base_seed : info.default_base_seed;
   opt.common_random_numbers = info.common_random_numbers;
+  opt.rep_timeout_s = req.rep_timeout_s;
+  opt.max_retries = req.max_retries;
+  opt.keep_going = req.keep_going;
   if (req.max_points > 0 &&
       static_cast<std::size_t>(req.max_points) < points.size()) {
     points.resize(static_cast<std::size_t>(req.max_points));
@@ -152,11 +305,34 @@ std::vector<Sample> sweep_points(
   out.quick = req.quick;
   out.max_points = req.max_points;
   out.staged_warmup = req.warmup != WarmupMode::kLegacy;
+  out.supervised = opt.supervised();
+
+  // The journal binds every result-defining knob of this grid; resuming
+  // under any other configuration throws instead of merging foreign
+  // samples.
+  std::unique_ptr<SweepJournal> journal;
+  if (!req.journal_path.empty()) {
+    JournalConfig jc;
+    jc.scenario = info.id;
+    jc.base_seed = opt.base_seed;
+    jc.replications = static_cast<std::uint32_t>(opt.replications);
+    jc.points = static_cast<std::uint32_t>(points.size());
+    jc.quick = req.quick;
+    jc.max_points = req.max_points;
+    jc.common_random_numbers = opt.common_random_numbers;
+    jc.staged_warmup = out.staged_warmup;
+    journal =
+        std::make_unique<SweepJournal>(req.journal_path, jc, req.resume);
+  }
+  SweepExecution ex;
+  ex.journal = journal.get();
 
   const auto t0 = std::chrono::steady_clock::now();
   const auto k0 = sim::Environment::global_scheduler_stats();
-  auto merged = SweepRunner<Point, Sample>(opt).run(points, body);
+  auto merged = SweepRunner<Point, Sample>(opt).run(points, body, ex);
   const auto k1 = sim::Environment::global_scheduler_stats();
+  out.quarantined = std::move(ex.quarantined);
+  out.journal_skipped = ex.journal_skipped;
   out.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -204,12 +380,16 @@ SweepRunner<double, core::CreationPoint>::Body creation_body(
   const std::uint64_t base = resolved_base_seed(info, req);
   const bool crn = info.common_random_numbers;
   const bool fork = req.warmup == WarmupMode::kFork;
-  auto cache = std::make_shared<WarmupCache>(n_points);
+  auto cache =
+      std::make_shared<WarmupCache>(n_points, make_warmup_store(info, req));
   return [base, crn, fork, cache](const double& ber, const Replication& rep) {
     const std::uint64_t warm = warm_seed_for(base, crn, rep.point_index);
     std::unique_ptr<core::BluetoothSystem> sys;
     if (fork) {
-      const SystemImage& img = cache->get(rep.point_index, [&] {
+      std::vector<std::uint8_t> recipe;
+      blob_f64(recipe, ber);
+      blob_u32(recipe, 2048);
+      const SystemImage& img = cache->get(rep.point_index, warm, recipe, [&] {
         auto warm_sys = core::make_creation_system(ber, 2048, warm);
         return SystemImage{warm_sys->save_snapshot(), warm};
       });
@@ -304,7 +484,8 @@ SweepResult run_fig10(const ScenarioInfo& info, const ScenarioRequest& req) {
   const std::uint64_t base = resolved_base_seed(info, req);
   const bool crn = info.common_random_numbers;
   const WarmupMode mode = req.warmup;
-  auto cache = std::make_shared<WarmupCache>(points.size());
+  auto cache = std::make_shared<WarmupCache>(points.size(),
+                                             make_warmup_store(info, req));
   const auto merged = sweep_points<double, ActivitySample>(
       info, req, points, out,
       [measure_slots, base, crn, mode, cache](const double& duty,
@@ -320,9 +501,10 @@ SweepResult run_fig10(const ScenarioInfo& info, const ScenarioRequest& req) {
               warm_seed_for(base, crn, rep.point_index));
           row = core::run_master_activity_from(*w.system, duty, cfg);
         } else {
-          const SystemImage& img = cache->get(rep.point_index, [&] {
-            auto w = core::master_activity_warmup(
-                warm_seed_for(base, crn, rep.point_index));
+          const std::uint64_t warm = warm_seed_for(base, crn, rep.point_index);
+          // The warm-up is duty-independent, so the recipe is the seed alone.
+          const SystemImage& img = cache->get(rep.point_index, warm, {}, [&] {
+            auto w = core::master_activity_warmup(warm);
             return SystemImage{w.system->save_snapshot(),
                                w.construction_seed};
           });
@@ -391,7 +573,8 @@ SweepResult run_fig11(const ScenarioInfo& info, const ScenarioRequest& req) {
   const std::uint64_t base = resolved_base_seed(info, req);
   const bool crn = info.common_random_numbers;
   const WarmupMode mode = req.warmup;
-  auto cache = std::make_shared<WarmupCache>(9);  // baseline + 8 Tsniff
+  auto cache = std::make_shared<WarmupCache>(
+      9, make_warmup_store(info, req));  // baseline + 8 Tsniff
   return run_baseline_vs_mode(
       info, req,
       "Fig. 11: slave RF activity vs Tsniff, active vs sniff (master data "
@@ -414,9 +597,9 @@ SweepResult run_fig11(const ScenarioInfo& info, const ScenarioRequest& req) {
           return core::run_sniff_activity_from(*w.system, tsniff, cfg)
               .slave.total();
         }
-        const SystemImage& img = cache->get(rep.point_index, [&] {
-          auto w = core::sniff_activity_warmup(
-              warm_seed_for(base, crn, rep.point_index));
+        const std::uint64_t warm = warm_seed_for(base, crn, rep.point_index);
+        const SystemImage& img = cache->get(rep.point_index, warm, {}, [&] {
+          auto w = core::sniff_activity_warmup(warm);
           return SystemImage{w.system->save_snapshot(), w.construction_seed};
         });
         auto sys = core::sniff_activity_scaffold(img.construction_seed);
@@ -430,7 +613,8 @@ SweepResult run_fig12(const ScenarioInfo& info, const ScenarioRequest& req) {
   const std::uint64_t base = resolved_base_seed(info, req);
   const bool crn = info.common_random_numbers;
   const WarmupMode mode = req.warmup;
-  auto cache = std::make_shared<WarmupCache>(10);  // baseline + 9 Thold
+  auto cache = std::make_shared<WarmupCache>(
+      10, make_warmup_store(info, req));  // baseline + 9 Thold
   return run_baseline_vs_mode(
       info, req,
       "Fig. 12: slave RF activity vs Thold, hold vs active (paper: active "
@@ -453,9 +637,9 @@ SweepResult run_fig12(const ScenarioInfo& info, const ScenarioRequest& req) {
           return core::run_hold_activity_from(*w.system, thold, cfg)
               .slave.total();
         }
-        const SystemImage& img = cache->get(rep.point_index, [&] {
-          auto w = core::hold_activity_warmup(
-              warm_seed_for(base, crn, rep.point_index));
+        const std::uint64_t warm = warm_seed_for(base, crn, rep.point_index);
+        const SystemImage& img = cache->get(rep.point_index, warm, {}, [&] {
+          auto w = core::hold_activity_warmup(warm);
           return SystemImage{w.system->save_snapshot(), w.construction_seed};
         });
         auto sys = core::hold_activity_scaffold(img.construction_seed);
@@ -495,7 +679,8 @@ SweepResult run_throughput_scenario(const ScenarioInfo& info,
   const WarmupMode mode = req.warmup;
   // Images are keyed per (type, BER) cell: even under common random
   // numbers the warm-up system differs by packet type.
-  auto cache = std::make_shared<WarmupCache>(points.size());
+  auto cache = std::make_shared<WarmupCache>(points.size(),
+                                             make_warmup_store(info, req));
   const auto merged = sweep_points<ThroughputPoint, ScalarSample>(
       info, req, points, out,
       [measure_slots, base, crn, mode, cache](const ThroughputPoint& p,
@@ -511,12 +696,15 @@ SweepResult run_throughput_scenario(const ScenarioInfo& info,
               p.type, warm_seed_for(base, crn, rep.point_index));
           row = core::run_throughput_from(*w.system, p.type, p.ber, cfg);
         } else {
-          const SystemImage& img = cache->get(rep.point_index, [&] {
-            auto w = core::throughput_warmup(
-                p.type, warm_seed_for(base, crn, rep.point_index));
-            return SystemImage{w.system->save_snapshot(),
-                               w.construction_seed};
-          });
+          const std::uint64_t warm = warm_seed_for(base, crn, rep.point_index);
+          std::vector<std::uint8_t> recipe;
+          blob_u32(recipe, static_cast<std::uint32_t>(p.type));
+          const SystemImage& img =
+              cache->get(rep.point_index, warm, recipe, [&] {
+                auto w = core::throughput_warmup(p.type, warm);
+                return SystemImage{w.system->save_snapshot(),
+                                   w.construction_seed};
+              });
           auto sys = core::throughput_scaffold(p.type, img.construction_seed);
           sys->restore_snapshot(img.bytes);
           row = core::run_throughput_from(*sys, p.type, p.ber, cfg);
@@ -563,7 +751,8 @@ SweepResult run_coexistence_scenario(const ScenarioInfo& info,
   const std::uint64_t base = resolved_base_seed(info, req);
   const bool crn = info.common_random_numbers;
   const WarmupMode mode = req.warmup;
-  auto cache = std::make_shared<WarmupCache>(points.size());
+  auto cache = std::make_shared<WarmupCache>(points.size(),
+                                             make_warmup_store(info, req));
   const auto merged = sweep_points<std::uint32_t, CoexSample>(
       info, req, points, out,
       [measure_slots, base, crn, mode, cache](const std::uint32_t& period,
@@ -581,7 +770,7 @@ SweepResult run_coexistence_scenario(const ScenarioInfo& info,
         } else {
           const std::uint64_t warm =
               warm_seed_for(base, crn, rep.point_index);
-          const SystemImage& img = cache->get(rep.point_index, [&] {
+          const SystemImage& img = cache->get(rep.point_index, warm, {}, [&] {
             // Both piconets connect via the environment RNG, so the
             // construction seed is the warm-up seed itself (no retry
             // reconstruction as in the single-piconet scenarios).
@@ -622,7 +811,8 @@ SweepResult run_backoff_scenario(const ScenarioInfo& info,
   const std::uint64_t base = resolved_base_seed(info, req);
   const bool crn = info.common_random_numbers;
   const WarmupMode mode = req.warmup;
-  auto cache = std::make_shared<WarmupCache>(points.size());
+  auto cache = std::make_shared<WarmupCache>(points.size(),
+                                             make_warmup_store(info, req));
   const auto merged = sweep_points<std::uint32_t, BackoffPoint>(
       info, req, points, out,
       [base, crn, mode, cache](const std::uint32_t& backoff,
@@ -637,7 +827,10 @@ SweepResult run_backoff_scenario(const ScenarioInfo& info,
         } else {
           const std::uint64_t warm =
               warm_seed_for(base, crn, rep.point_index);
-          const SystemImage& img = cache->get(rep.point_index, [&] {
+          std::vector<std::uint8_t> recipe;
+          blob_u32(recipe, backoff);
+          const SystemImage& img = cache->get(rep.point_index, warm, recipe,
+                                              [&] {
             return SystemImage{
                 core::make_backoff_system(backoff, warm)->save_snapshot(),
                 warm};
@@ -783,13 +976,54 @@ void write_result(const SweepResult& result, core::Reporter& reporter) {
   reporter.meta("kernel_peak_heap", std::to_string(result.kernel.peak_heap));
   reporter.meta("kernel_peak_depth",
                 std::to_string(result.kernel.peak_depth));
+  // Quarantine outcome, emitted ONLY for supervised runs so legacy
+  // artifacts stay byte-identical to every pre-supervision run.
+  if (result.supervised) {
+    reporter.meta("quarantined", std::to_string(result.quarantined.size()));
+  }
   reporter.columns(result.columns);
   for (const auto& row : result.rows) reporter.row(row);
   for (const auto& note : result.notes) reporter.note(note);
+  for (const auto& q : result.quarantined) {
+    reporter.note("quarantined: point=" + std::to_string(q.point_index) +
+                  " replication=" + std::to_string(q.replication_index) +
+                  " seed=" + std::to_string(q.seed) +
+                  " attempts=" + std::to_string(q.attempts) +
+                  (q.timed_out ? " timeout: " : " error: ") + q.error);
+  }
   reporter.end();
 }
 
 namespace {
+
+/// JSON quarantine report: machine-readable enough for a driver script
+/// to retry or exclude the quarantined replications.
+std::string quarantine_report(const SweepResult& result) {
+  std::string out = "{\"scenario\": \"" + result.id +
+                    "\", \"base_seed\": " + std::to_string(result.base_seed) +
+                    ", \"quarantined\": [";
+  for (std::size_t i = 0; i < result.quarantined.size(); ++i) {
+    const QuarantineEntry& q = result.quarantined[i];
+    std::string error;
+    for (char c : q.error) {  // minimal JSON string escaping
+      if (c == '"' || c == '\\') error += '\\';
+      if (static_cast<unsigned char>(c) < 0x20) {
+        error += ' ';
+      } else {
+        error += c;
+      }
+    }
+    out += std::string(i ? ", " : "") + "{\"point\": " +
+           std::to_string(q.point_index) +
+           ", \"replication\": " + std::to_string(q.replication_index) +
+           ", \"seed\": " + std::to_string(q.seed) +
+           ", \"attempts\": " + std::to_string(q.attempts) +
+           ", \"timed_out\": " + (q.timed_out ? "true" : "false") +
+           ", \"error\": \"" + error + "\"}";
+  }
+  out += "]}\n";
+  return out;
+}
 
 std::unique_ptr<core::Reporter> make_reporter(const core::BenchArgs& args,
                                               std::ostream& os) {
@@ -828,6 +1062,22 @@ int run_scenario_main(const std::string& id, int argc, char** argv) {
   } else if (args.checkpoint_warmup) {
     req.warmup = WarmupMode::kFork;
   }
+  req.journal_path = args.journal;
+  req.resume = args.resume;
+  req.checkpoint_dir = args.checkpoint_dir;
+  req.rep_timeout_s = args.rep_timeout;
+  req.max_retries = args.max_retries;
+  req.keep_going = args.keep_going;
+  if (req.resume && req.journal_path.empty()) {
+    std::cerr << "btsc-sweep: --resume requires --journal FILE\n";
+    return 2;
+  }
+  if (!req.checkpoint_dir.empty() && req.warmup != WarmupMode::kFork) {
+    std::cerr << "btsc-sweep: --checkpoint-dir only applies with "
+                 "--checkpoint-warmup (the durable store spills the "
+                 "per-point fork snapshots)\n";
+    return 2;
+  }
 
   SweepResult result;
   try {
@@ -835,6 +1085,11 @@ int run_scenario_main(const std::string& id, int argc, char** argv) {
   } catch (const std::exception& e) {
     std::cerr << "btsc-sweep: " << e.what() << "\n";
     return 1;
+  }
+  if (!req.journal_path.empty()) {
+    std::cout << result.id << ": journal resumed " << result.journal_skipped
+              << " completed replication(s) from " << req.journal_path
+              << "\n";
   }
 
   if (args.out.empty()) {
@@ -855,6 +1110,25 @@ int run_scenario_main(const std::string& id, int argc, char** argv) {
               << result.replications << " replications on " << result.threads
               << " thread(s) in " << result.wall_seconds << " s -> "
               << args.out << "\n";
+  }
+
+  // Graceful degradation: completed rows were emitted above; the
+  // quarantine report and a distinct exit code tell drivers the result
+  // is partial and exactly which replications to chase.
+  if (result.supervised) {
+    const std::string report = quarantine_report(result);
+    if (!args.quarantine_out.empty()) {
+      std::ofstream qfile(args.quarantine_out);
+      if (!qfile) {
+        std::cerr << "btsc-sweep: cannot open " << args.quarantine_out
+                  << "\n";
+        return 1;
+      }
+      qfile << report;
+    } else if (!result.quarantined.empty()) {
+      std::cerr << report;
+    }
+    if (!result.quarantined.empty()) return 3;
   }
   return 0;
 }

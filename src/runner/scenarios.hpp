@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "runner/sweep.hpp"
+
 namespace btsc::core {
 class Reporter;
 }
@@ -54,6 +56,29 @@ struct ScenarioRequest {
   /// default. The partition planner fuses/clamps per scenario, so the
   /// result bytes are invariant to this value -- gated in ci.sh.
   int shards = 0;
+  /// Append-only results journal (--journal): every completed
+  /// replication is fsync'd to this file; empty = no journal. The
+  /// journal is bookkeeping, never result-defining: journaled and plain
+  /// runs emit byte-identical artifacts (the crash-injection CI gate).
+  std::string journal_path;
+  /// Resume from an existing journal (--resume): already-journaled
+  /// replications are replayed from disk instead of re-run. Requires
+  /// journal_path.
+  bool resume = false;
+  /// Durable warm-up checkpoint directory (--checkpoint-dir): the
+  /// per-point warm-up snapshot cache of kFork runs spills to / loads
+  /// from CheckpointFiles here, so a fresh process skips warm-ups a
+  /// previous one already paid for. Empty = in-memory cache only.
+  std::string checkpoint_dir;
+  /// Per-replication deadline in seconds (--rep-timeout); overrunning
+  /// replications are quarantined as timeouts. <= 0 = no deadline.
+  double rep_timeout_s = 0.0;
+  /// Extra attempts for a throwing replication before quarantine
+  /// (--max-retries).
+  int max_retries = 0;
+  /// Quarantine failing replications and keep sweeping (--keep-going);
+  /// implied by rep_timeout_s/max_retries.
+  bool keep_going = false;
 };
 
 /// A completed sweep: a titled table plus the metadata needed to
@@ -91,6 +116,18 @@ struct SweepResult {
   bool staged_warmup = false;
   /// Wall-clock duration of the sweep (excludes reporting).
   double wall_seconds = 0.0;
+  /// Whether the supervisor ran (any of rep_timeout_s / max_retries /
+  /// keep_going). Supervised artifacts record their quarantine outcome
+  /// in metadata; unsupervised ones stay byte-identical to historical
+  /// artifacts.
+  bool supervised = false;
+  /// Replications the supervisor quarantined, sorted by
+  /// (point, replication). Empty on a healthy run.
+  std::vector<QuarantineEntry> quarantined;
+  /// Replications replayed from the journal instead of executed
+  /// (resume bookkeeping; deliberately NOT reported in artifacts so a
+  /// resumed artifact stays byte-identical to an uninterrupted one).
+  std::size_t journal_skipped = 0;
 
   /// Timed-queue health of the simulation kernels this sweep ran:
   /// sim::Environment scheduler counters summed over every replication

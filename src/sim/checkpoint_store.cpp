@@ -1,0 +1,131 @@
+#include "sim/checkpoint_store.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace btsc::sim {
+namespace {
+
+constexpr std::uint32_t kRecipeTag = snapshot_tag("CKPT");
+constexpr std::uint32_t kImageTag = snapshot_tag("IMG ");
+
+[[noreturn]] void throw_io(const std::string& what, const std::string& path) {
+  throw SnapshotError("checkpoint: " + what + " " + path + ": " +
+                      std::strerror(errno));
+}
+
+/// fsync the directory containing `path` so the rename itself is
+/// durable. Best effort on filesystems that reject directory fsync.
+void fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_checkpoint_file(const CheckpointFile& file) {
+  SnapshotWriter w;
+  w.begin_section(kRecipeTag);
+  w.str(file.scenario);
+  w.u64(file.point_index);
+  w.u64(file.warm_seed);
+  w.u64(file.construction_seed);
+  w.u32(file.snapshot_version);
+  w.byte_vec(file.config);
+  w.end_section();
+  w.begin_section(kImageTag);
+  w.byte_vec(file.snapshot);
+  w.end_section();
+  return w.take();
+}
+
+CheckpointFile decode_checkpoint_file(const std::vector<std::uint8_t>& bytes) {
+  SnapshotReader r(bytes);
+  CheckpointFile f;
+  r.enter_section(kRecipeTag);
+  f.scenario = r.str();
+  f.point_index = r.u64();
+  f.warm_seed = r.u64();
+  f.construction_seed = r.u64();
+  f.snapshot_version = r.u32();
+  f.config = r.byte_vec();
+  r.leave_section();
+  r.enter_section(kImageTag);
+  f.snapshot = r.byte_vec();
+  r.leave_section();
+  if (!r.at_end()) {
+    throw SnapshotError("checkpoint: trailing bytes after image section");
+  }
+  // Version gate BEFORE anyone touches the embedded image: a recipe from
+  // another build must fail loudly here, not deep inside restore_state.
+  if (f.snapshot_version != kSnapshotVersion) {
+    throw SnapshotError("checkpoint: stale snapshot version " +
+                        std::to_string(f.snapshot_version) + " (this build: " +
+                        std::to_string(kSnapshotVersion) + ")");
+  }
+  return f;
+}
+
+void write_checkpoint_file(const std::string& path,
+                           const CheckpointFile& file) {
+  const std::vector<std::uint8_t> bytes = encode_checkpoint_file(file);
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw_io("cannot create", tmp);
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      throw_io("write failed for", tmp);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw_io("fsync failed for", tmp);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    throw_io("close failed for", tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    throw_io("rename failed onto", path);
+  }
+  fsync_parent_dir(path);
+}
+
+CheckpointFile load_checkpoint_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw_io("cannot open", path);
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      throw_io("read failed for", path);
+    }
+    if (n == 0) break;
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  ::close(fd);
+  return decode_checkpoint_file(bytes);
+}
+
+}  // namespace btsc::sim

@@ -95,5 +95,36 @@ TEST(BenchArgsTest, ReplicationsIsAnAliasForSeeds) {
   EXPECT_EQ(a.seeds, 12);
 }
 
+TEST(BenchArgsTest, DurabilityFlagsDefaultOff) {
+  const auto a = parse({});
+  EXPECT_TRUE(a.journal.empty());
+  EXPECT_FALSE(a.resume);
+  EXPECT_TRUE(a.checkpoint_dir.empty());
+  EXPECT_EQ(a.rep_timeout, 0.0);
+  EXPECT_EQ(a.max_retries, 0);
+  EXPECT_FALSE(a.keep_going);
+  EXPECT_TRUE(a.quarantine_out.empty());
+}
+
+TEST(BenchArgsTest, ParsesDurabilityFlags) {
+  const auto a = parse({"--journal", "sweep.journal", "--resume",
+                        "--checkpoint-dir", "ckpt", "--rep-timeout", "2.5",
+                        "--max-retries", "3", "--keep-going",
+                        "--quarantine-out", "quar.json"});
+  EXPECT_EQ(a.journal, "sweep.journal");
+  EXPECT_TRUE(a.resume);
+  EXPECT_EQ(a.checkpoint_dir, "ckpt");
+  EXPECT_DOUBLE_EQ(a.rep_timeout, 2.5);
+  EXPECT_EQ(a.max_retries, 3);
+  EXPECT_TRUE(a.keep_going);
+  EXPECT_EQ(a.quarantine_out, "quar.json");
+}
+
+TEST(BenchArgsTest, MalformedTimeoutKeepsDefault) {
+  const auto a = parse({"--rep-timeout", "fast", "--max-retries", "2x"});
+  EXPECT_EQ(a.rep_timeout, 0.0);
+  EXPECT_EQ(a.max_retries, 0);
+}
+
 }  // namespace
 }  // namespace btsc::core

@@ -1,0 +1,155 @@
+// Durable checkpoint store: atomic write/load round trip, recipe
+// validation, and the rejection guarantees of the file-backed layer
+// (every corruption mode throws SnapshotError; nothing partially
+// applies).
+#include "sim/checkpoint_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace btsc::sim {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + name;
+}
+
+CheckpointFile sample_file() {
+  CheckpointFile f;
+  f.scenario = "fig08";
+  f.point_index = 3;
+  f.warm_seed = 0xDEADBEEFCAFEF00Dull;
+  f.construction_seed = 0x1234567890ABCDEFull;
+  f.config = {0x01, 0x02, 0x03, 0x04};
+  // A realistic embedded image: a complete (checksummed) inner stream.
+  SnapshotWriter w;
+  w.begin_section(snapshot_tag("ENV "));
+  w.u64(42);
+  w.str("inner snapshot payload");
+  w.end_section();
+  f.snapshot = w.take();
+  return f;
+}
+
+void expect_equal(const CheckpointFile& a, const CheckpointFile& b) {
+  EXPECT_EQ(a.scenario, b.scenario);
+  EXPECT_EQ(a.point_index, b.point_index);
+  EXPECT_EQ(a.warm_seed, b.warm_seed);
+  EXPECT_EQ(a.construction_seed, b.construction_seed);
+  EXPECT_EQ(a.snapshot_version, b.snapshot_version);
+  EXPECT_EQ(a.config, b.config);
+  EXPECT_EQ(a.snapshot, b.snapshot);
+}
+
+TEST(CheckpointStoreTest, WriteLoadRoundTrip) {
+  const std::string path = temp_path("roundtrip.ckpt");
+  const CheckpointFile f = sample_file();
+  write_checkpoint_file(path, f);
+  expect_equal(f, load_checkpoint_file(path));
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointStoreTest, EncodeDecodeRoundTrip) {
+  const CheckpointFile f = sample_file();
+  expect_equal(f, decode_checkpoint_file(encode_checkpoint_file(f)));
+}
+
+TEST(CheckpointStoreTest, OverwriteIsAtomicAndLoadsLatest) {
+  const std::string path = temp_path("overwrite.ckpt");
+  CheckpointFile f = sample_file();
+  write_checkpoint_file(path, f);
+  f.construction_seed = 999;
+  f.config = {0xAA};
+  write_checkpoint_file(path, f);
+  expect_equal(f, load_checkpoint_file(path));
+  // The temp file of the atomic protocol must not survive a success.
+  std::size_t residue = 0;
+  for (const auto& e : fs::directory_iterator(testing::TempDir())) {
+    if (e.path().filename().string().find("overwrite.ckpt.tmp") !=
+        std::string::npos) {
+      ++residue;
+    }
+  }
+  EXPECT_EQ(residue, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointStoreTest, MissingFileThrows) {
+  EXPECT_THROW(load_checkpoint_file(temp_path("does-not-exist.ckpt")),
+               SnapshotError);
+}
+
+TEST(CheckpointStoreTest, StaleSnapshotVersionThrows) {
+  CheckpointFile f = sample_file();
+  f.snapshot_version = kSnapshotVersion + 1;
+  const std::vector<std::uint8_t> bytes = encode_checkpoint_file(f);
+  EXPECT_THROW(decode_checkpoint_file(bytes), SnapshotError);
+  f.snapshot_version = kSnapshotVersion - 1;
+  EXPECT_THROW(decode_checkpoint_file(encode_checkpoint_file(f)),
+               SnapshotError);
+}
+
+TEST(CheckpointStoreTest, EveryTruncationThrows) {
+  const std::vector<std::uint8_t> bytes =
+      encode_checkpoint_file(sample_file());
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::vector<std::uint8_t> torn(bytes.begin(),
+                                   bytes.begin() +
+                                       static_cast<std::ptrdiff_t>(cut));
+    EXPECT_THROW(decode_checkpoint_file(torn), SnapshotError)
+        << "cut at " << cut;
+  }
+}
+
+TEST(CheckpointStoreTest, EveryBitFlipThrows) {
+  const std::vector<std::uint8_t> bytes =
+      encode_checkpoint_file(sample_file());
+  for (std::size_t byte = 0; byte < bytes.size(); ++byte) {
+    std::vector<std::uint8_t> flipped = bytes;
+    flipped[byte] ^= 0x10;
+    EXPECT_THROW(decode_checkpoint_file(flipped), SnapshotError)
+        << "flip at byte " << byte;
+  }
+}
+
+TEST(CheckpointStoreTest, TrailingGarbageThrows) {
+  std::vector<std::uint8_t> bytes = encode_checkpoint_file(sample_file());
+  bytes.push_back(0x00);
+  EXPECT_THROW(decode_checkpoint_file(bytes), SnapshotError);
+}
+
+TEST(CheckpointStoreTest, TruncatedFileOnDiskThrows) {
+  const std::string path = temp_path("truncated.ckpt");
+  const std::vector<std::uint8_t> bytes =
+      encode_checkpoint_file(sample_file());
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size() / 2));
+  out.close();
+  EXPECT_THROW(load_checkpoint_file(path), SnapshotError);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointStoreTest, StaleTempFileDoesNotShadowTheCheckpoint) {
+  // A crash between write and rename leaves `<path>.tmp.<pid>` around;
+  // loads must keep reading the committed file.
+  const std::string path = temp_path("shadow.ckpt");
+  const CheckpointFile f = sample_file();
+  write_checkpoint_file(path, f);
+  std::ofstream stale(path + ".tmp.12345", std::ios::binary);
+  stale << "garbage from a dead process";
+  stale.close();
+  expect_equal(f, load_checkpoint_file(path));
+  std::remove(path.c_str());
+  std::remove((path + ".tmp.12345").c_str());
+}
+
+}  // namespace
+}  // namespace btsc::sim

@@ -8,9 +8,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
 #include <vector>
 
 #include "core/system.hpp"
+#include "sim/checkpoint_store.hpp"
 #include "sim/rng.hpp"
 #include "sim/snapshot.hpp"
 #include "sim/time.hpp"
@@ -178,6 +182,114 @@ TEST(SnapshotFuzzTest, SystemImageBitFlipsThrow) {
   }
   twin.restore_snapshot(snap);
   EXPECT_EQ(twin.save_snapshot(), snap);
+}
+
+// ---- file-backed corpus (sim/checkpoint_store) ------------------------
+//
+// The durable checkpoint layer wraps a system image in a recipe-carrying
+// outer stream and reads it back from disk. The same total-rejection
+// property must hold against on-disk damage: truncated files, short
+// reads, torn headers, flipped bytes and stale-version recipes all
+// surface as SnapshotError, and the in-memory scaffold stays usable.
+
+/// A checkpoint file wrapping the real system image, as the warm-up
+/// store writes it.
+CheckpointFile fuzz_checkpoint() {
+  CheckpointFile f;
+  f.scenario = "fuzz";
+  f.point_index = 1;
+  f.warm_seed = 0xFEEDF00Dull;
+  f.construction_seed = 0xBADC0FFEull;
+  f.config = {0x10, 0x20, 0x30};
+  f.snapshot = system_stream();
+  return f;
+}
+
+void write_bytes(const std::string& path,
+                 const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+/// True when loading `path` is rejected with SnapshotError and the twin
+/// system remains restorable afterwards.
+void expect_file_rejected(const std::string& path,
+                          core::BluetoothSystem* twin,
+                          const std::vector<std::uint8_t>& good_snap) {
+  EXPECT_THROW(load_checkpoint_file(path), SnapshotError);
+  if (twin != nullptr) {
+    twin->restore_snapshot(good_snap);
+    EXPECT_EQ(twin->save_snapshot(), good_snap);
+  }
+}
+
+TEST(SnapshotFuzzTest, FileBackedIntactRoundTrip) {
+  const std::string path = testing::TempDir() + "fuzz-intact.ckpt";
+  const CheckpointFile f = fuzz_checkpoint();
+  write_checkpoint_file(path, f);
+  const CheckpointFile loaded = load_checkpoint_file(path);
+  EXPECT_EQ(loaded.snapshot, f.snapshot);
+  // The embedded image is a real snapshot: it must restore.
+  core::BluetoothSystem twin(fuzz_system_config());
+  twin.restore_snapshot(loaded.snapshot);
+  EXPECT_EQ(twin.save_snapshot(), f.snapshot);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotFuzzTest, FileBackedTruncationsThrow) {
+  const std::string path = testing::TempDir() + "fuzz-trunc.ckpt";
+  const CheckpointFile f = fuzz_checkpoint();
+  const std::vector<std::uint8_t> bytes = encode_checkpoint_file(f);
+  core::BluetoothSystem twin(fuzz_system_config());
+  // All short prefixes (torn header / short read territory), then a
+  // deterministic spread of cuts across the body.
+  Rng rng(3);
+  std::vector<std::size_t> cuts;
+  for (std::size_t len = 0; len < 32 && len < bytes.size(); ++len) {
+    cuts.push_back(len);
+  }
+  for (int i = 0; i < 120; ++i) {
+    cuts.push_back(static_cast<std::size_t>(
+        rng.uniform(0, static_cast<std::uint64_t>(bytes.size() - 1))));
+  }
+  for (std::size_t len : cuts) {
+    write_bytes(path, {bytes.begin(),
+                       bytes.begin() + static_cast<std::ptrdiff_t>(len)});
+    expect_file_rejected(path, &twin, f.snapshot);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotFuzzTest, FileBackedBitFlipsThrow) {
+  const std::string path = testing::TempDir() + "fuzz-flip.ckpt";
+  const CheckpointFile f = fuzz_checkpoint();
+  const std::vector<std::uint8_t> bytes = encode_checkpoint_file(f);
+  core::BluetoothSystem twin(fuzz_system_config());
+  Rng rng(4);
+  for (int i = 0; i < 150; ++i) {
+    auto mangled = bytes;
+    const auto byte = static_cast<std::size_t>(
+        rng.uniform(0, static_cast<std::uint64_t>(bytes.size() - 1)));
+    mangled[byte] ^= static_cast<std::uint8_t>(1u << rng.uniform(0, 7));
+    write_bytes(path, mangled);
+    expect_file_rejected(path, &twin, f.snapshot);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotFuzzTest, FileBackedStaleVersionRecipeThrows) {
+  const std::string path = testing::TempDir() + "fuzz-stale.ckpt";
+  core::BluetoothSystem twin(fuzz_system_config());
+  CheckpointFile f = fuzz_checkpoint();
+  const std::vector<std::uint8_t> good = f.snapshot;
+  for (std::uint32_t version :
+       {kSnapshotVersion - 1, kSnapshotVersion + 1, 0u, 0xFFFFFFFFu}) {
+    f.snapshot_version = version;
+    write_bytes(path, encode_checkpoint_file(f));
+    expect_file_rejected(path, &twin, good);
+  }
+  std::remove(path.c_str());
 }
 
 TEST(SnapshotFuzzTest, TrailingGarbageThrows) {
