@@ -1,0 +1,214 @@
+// btsc-sweepd — the fault-tolerant sweep service (see
+// src/service/sweepd.hpp for the crash-only design).
+//
+//   btsc-sweepd --jobs-dir DIR --job-file jobs.jsonl          # batch/CI
+//   btsc-sweepd --jobs-dir DIR --socket /tmp/btsc.sock        # daemon
+//
+// Jobs are one flat JSON object per line, e.g.:
+//   {"id": "f8-a", "scenario": "fig08", "quick": true, "threads": 2}
+//
+// On SIGTERM/SIGINT the service drains: stops accepting, finishes and
+// journals in-flight replications, exits 0. After SIGKILL, restarting
+// with the same --jobs-dir resumes every incomplete job through its
+// journal — committed replications are never re-run and final artifacts
+// are byte-identical to an uninterrupted run.
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "runner/warmup_store.hpp"
+#include "service/sweepd.hpp"
+
+namespace {
+
+std::atomic<bool> g_terminate{false};
+
+void on_signal(int) { g_terminate.store(true, std::memory_order_relaxed); }
+
+void print_usage() {
+  std::printf(
+      "usage: btsc-sweepd --jobs-dir DIR (--job-file FILE | --socket PATH)\n"
+      "\n"
+      "options:\n"
+      "  --jobs-dir DIR      job state directory: .job specs, journals,\n"
+      "                      artifacts, quarantine/error reports (required)\n"
+      "  --job-file FILE     batch mode: submit every JSONL job in FILE,\n"
+      "                      run to completion, print a summary line\n"
+      "  --socket PATH       serve line-delimited JSON requests on a\n"
+      "                      Unix-domain socket (ops: submit, status,\n"
+      "                      drain, ping) until drained\n"
+      "  --workers N         concurrent jobs (default 1; each job also\n"
+      "                      runs its own sweep threads)\n"
+      "  --queue-limit N     reject submissions beyond N queued jobs\n"
+      "                      (default 16)\n"
+      "  --cache-budget B    LRU byte budget over the shared warm-up\n"
+      "                      checkpoint cache (default 0 = unbounded)\n"
+      "  --checkpoint-dir D  warm-up cache directory (default\n"
+      "                      <jobs-dir>/checkpoints)\n"
+      "\n"
+      "With neither --job-file nor --socket, recovered jobs (if any) are\n"
+      "run to completion and the service exits.\n"
+      "\n"
+      "SIGTERM/SIGINT drain gracefully (in-flight replications finish and\n"
+      "journal; exit 0). SIGKILL is safe: restart = resume.\n");
+}
+
+bool parse_u64(const char* s, std::uint64_t& out) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0' || s[0] == '-') return false;
+  out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  btsc::service::ServiceConfig cfg;
+  std::string job_file;
+  std::string socket_path;
+  for (int i = 1; i < argc; ++i) {
+    const auto is = [&](const char* flag) {
+      return std::strcmp(argv[i], flag) == 0;
+    };
+    if (is("--help") || is("-h")) {
+      print_usage();
+      return 0;
+    }
+    if (is("--jobs-dir") && i + 1 < argc) {
+      cfg.jobs_dir = argv[++i];
+    } else if (is("--job-file") && i + 1 < argc) {
+      job_file = argv[++i];
+    } else if (is("--socket") && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (is("--checkpoint-dir") && i + 1 < argc) {
+      cfg.checkpoint_dir = argv[++i];
+    } else if (is("--workers") && i + 1 < argc) {
+      std::uint64_t v = 0;
+      if (!parse_u64(argv[++i], v) || v == 0 || v > 1024) {
+        std::fprintf(stderr, "btsc-sweepd: bad --workers value\n");
+        return 2;
+      }
+      cfg.workers = static_cast<int>(v);
+    } else if (is("--queue-limit") && i + 1 < argc) {
+      std::uint64_t v = 0;
+      if (!parse_u64(argv[++i], v) || v == 0) {
+        std::fprintf(stderr, "btsc-sweepd: bad --queue-limit value\n");
+        return 2;
+      }
+      cfg.queue_limit = static_cast<std::size_t>(v);
+    } else if (is("--cache-budget") && i + 1 < argc) {
+      if (!parse_u64(argv[++i], cfg.cache_budget_bytes)) {
+        std::fprintf(stderr, "btsc-sweepd: bad --cache-budget value\n");
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "btsc-sweepd: unknown option %s\n", argv[i]);
+      print_usage();
+      return 2;
+    }
+  }
+  if (cfg.jobs_dir.empty()) {
+    print_usage();
+    return 2;
+  }
+  cfg.terminate = &g_terminate;
+
+  // Graceful drain on request-to-terminate; SIGKILL intentionally has no
+  // handler — the crash-only recovery path covers it.
+  std::signal(SIGTERM, &on_signal);
+  std::signal(SIGINT, &on_signal);
+  // A client vanishing mid-reply must not kill the service.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    btsc::service::SweepService svc(cfg);
+    const std::size_t recovered = svc.recover();
+    if (recovered > 0) {
+      std::cout << "btsc-sweepd: resuming " << recovered
+                << " incomplete job(s) from " << cfg.jobs_dir << "\n";
+    }
+    svc.start();
+
+    std::size_t rejected = 0;
+    if (!job_file.empty()) {
+      std::ifstream in(job_file);
+      if (!in) {
+        std::fprintf(stderr, "btsc-sweepd: cannot open %s\n",
+                     job_file.c_str());
+        return 2;
+      }
+      std::string line;
+      std::size_t line_no = 0;
+      while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty() || line[0] == '#') continue;
+        std::string err;
+        try {
+          err = svc.submit(btsc::service::parse_job_line(line));
+        } catch (const btsc::service::JobError& e) {
+          err = e.what();
+        }
+        if (!err.empty()) {
+          // "duplicate job id" covers jobs recover() already picked up —
+          // resubmitting the same batch file after a crash is the normal
+          // restart flow, so that rejection is informational.
+          std::cerr << "btsc-sweepd: " << job_file << ":" << line_no << ": "
+                    << err << "\n";
+          if (err.find("duplicate job id") == std::string::npos &&
+              err.find("already has a completed artifact") ==
+                  std::string::npos) {
+            ++rejected;
+          }
+        }
+      }
+    }
+
+    if (!socket_path.empty()) {
+      std::cout << "btsc-sweepd: listening on " << socket_path << "\n";
+      svc.serve(socket_path);  // returns once draining
+    }
+    svc.wait_idle();
+    svc.drain();
+    svc.shutdown();
+
+    std::size_t done = 0, quarantined = 0, failed = 0, queued = 0;
+    for (const auto& st : svc.status()) {
+      switch (st.state) {
+        case btsc::service::JobState::kDone: ++done; break;
+        case btsc::service::JobState::kQuarantined: ++quarantined; break;
+        case btsc::service::JobState::kFailed: ++failed; break;
+        default: ++queued; break;
+      }
+    }
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    const auto warm = btsc::runner::warmup_store_stats();
+    const bool drained = g_terminate.load(std::memory_order_relaxed);
+    // Machine-readable summary (bench/run_benches parses this line).
+    std::printf(
+        "{\"event\": \"batch\", \"jobs\": %zu, \"done\": %zu, "
+        "\"quarantined\": %zu, \"failed\": %zu, \"incomplete\": %zu, "
+        "\"rejected\": %zu, \"wall_s\": %.6f, \"warmup_hits\": %llu, "
+        "\"warmup_misses\": %llu, \"drained\": %s}\n",
+        done + quarantined + failed + queued, done, quarantined, failed,
+        queued, rejected, wall,
+        static_cast<unsigned long long>(warm.hits),
+        static_cast<unsigned long long>(warm.misses),
+        drained ? "true" : "false");
+    // A drain is a SUCCESSFUL exit: incomplete jobs resume next start.
+    if (drained) return 0;
+    return (failed > 0 || rejected > 0) ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "btsc-sweepd: %s\n", e.what());
+    return 1;
+  }
+}

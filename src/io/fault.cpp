@@ -1,0 +1,124 @@
+#include "io/fault.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <utility>
+
+namespace btsc::io {
+namespace {
+
+std::atomic<FaultPlan*> g_plan{nullptr};
+
+}  // namespace
+
+FaultPlan::FaultPlan(std::vector<FaultRule> rules)
+    : rules_(std::move(rules)) {}
+
+FaultKind FaultPlan::decide(FaultOp op) {
+  const std::uint64_t n =
+      counts_[static_cast<std::size_t>(op)].fetch_add(1,
+                                                      std::memory_order_relaxed);
+  for (const FaultRule& r : rules_) {
+    if (r.op != op || r.kind == FaultKind::kNone) continue;
+    if (r.sticky ? n >= r.at : n == r.at) return r.kind;
+  }
+  return FaultKind::kNone;
+}
+
+std::uint64_t FaultPlan::count(FaultOp op) const {
+  return counts_[static_cast<std::size_t>(op)].load(std::memory_order_relaxed);
+}
+
+void set_fault_plan(FaultPlan* plan) {
+  g_plan.store(plan, std::memory_order_release);
+}
+
+FaultPlan* fault_plan() { return g_plan.load(std::memory_order_acquire); }
+
+ssize_t faultable_write(FaultOp op, int fd, const void* buf, std::size_t n) {
+  if (FaultPlan* plan = fault_plan()) {
+    switch (plan->decide(op)) {
+      case FaultKind::kNone:
+        break;
+      case FaultKind::kEnospc:
+        errno = ENOSPC;
+        return -1;
+      case FaultKind::kShortWrite: {
+        // Really write a prefix so the on-disk state is exactly what a
+        // device-level short write leaves behind.
+        const std::size_t half = n > 1 ? n / 2 : n;
+        return ::write(fd, buf, half);
+      }
+      case FaultKind::kSyncFail:
+        errno = EIO;  // nonsensical for write(); treat as generic I/O error
+        return -1;
+      case FaultKind::kCrash:
+        throw InjectedCrash{op, plan->count(op) - 1};
+    }
+  }
+  return ::write(fd, buf, n);
+}
+
+namespace {
+
+int faultable_sync_impl(FaultOp op, int fd, int (*sync_fn)(int)) {
+  if (FaultPlan* plan = fault_plan()) {
+    switch (plan->decide(op)) {
+      case FaultKind::kNone:
+        break;
+      case FaultKind::kSyncFail:
+      case FaultKind::kEnospc:
+        errno = EIO;
+        return -1;
+      case FaultKind::kShortWrite:
+        break;  // meaningless for sync; behave normally
+      case FaultKind::kCrash:
+        // Crash BEFORE the sync: data may be in the page cache but was
+        // never made durable — the post-crash file can legally hold it
+        // or not; our tests model the pessimistic case via truncation.
+        throw InjectedCrash{op, plan->count(op) - 1};
+    }
+  }
+  return sync_fn(fd);
+}
+
+}  // namespace
+
+int faultable_fsync(FaultOp op, int fd) {
+  return faultable_sync_impl(op, fd, &::fsync);
+}
+
+int faultable_fdatasync(FaultOp op, int fd) {
+  return faultable_sync_impl(op, fd, &::fdatasync);
+}
+
+int faultable_rename(FaultOp op, const char* from, const char* to) {
+  if (FaultPlan* plan = fault_plan()) {
+    switch (plan->decide(op)) {
+      case FaultKind::kNone:
+        break;
+      case FaultKind::kEnospc:
+        errno = ENOSPC;
+        return -1;
+      case FaultKind::kShortWrite:
+      case FaultKind::kSyncFail:
+        errno = EIO;
+        return -1;
+      case FaultKind::kCrash: {
+        // Crash-after-rename: the rename itself succeeds, then power is
+        // lost before the directory fsync. The new name is in place (or
+        // would be, modulo an unsynced directory) — recovery must treat
+        // the renamed file as potentially present AND potentially
+        // absent; either way it validates on load.
+        const int rc = ::rename(from, to);
+        if (rc != 0) return rc;
+        throw InjectedCrash{op, plan->count(op) - 1};
+      }
+    }
+  }
+  return ::rename(from, to);
+}
+
+}  // namespace btsc::io

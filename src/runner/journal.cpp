@@ -7,6 +7,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "io/fault.hpp"
 #include "sim/snapshot.hpp"
 
 namespace btsc::runner {
@@ -63,7 +64,9 @@ void write_block(int fd, const std::string& path,
   std::memcpy(block.data() + 4, payload.data(), payload.size());
   std::size_t off = 0;
   while (off < block.size()) {
-    const ssize_t n = ::write(fd, block.data() + off, block.size() - off);
+    const ssize_t n = io::faultable_write(io::FaultOp::kJournalWrite, fd,
+                                          block.data() + off,
+                                          block.size() - off);
     if (n < 0) {
       if (errno == EINTR) continue;
       throw_io("write failed for", path);
@@ -176,6 +179,7 @@ SweepJournal::SweepJournal(const std::string& path,
       errno = e;
       throw_io("seek failed for", path);
     }
+    end_ = good_end;
     return;
   }
 
@@ -183,13 +187,15 @@ SweepJournal::SweepJournal(const std::string& path,
   // first record can land.
   fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
   if (fd_ < 0) throw_io("cannot create", path);
+  const std::vector<std::uint8_t> header = encode_header(config);
   try {
-    write_block(fd_, path_, encode_header(config));
+    write_block(fd_, path_, header);
   } catch (...) {
     ::close(fd_);
     fd_ = -1;
     throw;
   }
+  end_ = 4 + header.size();
   if (::fsync(fd_) != 0) {
     const int e = errno;
     ::close(fd_);
@@ -222,7 +228,33 @@ void SweepJournal::append(std::uint64_t point, std::uint64_t rep,
   const std::vector<std::uint8_t> payload = w.take();
 
   std::lock_guard<std::mutex> lock(mu_);
-  write_block(fd_, path_, payload);
+  if (poisoned_) {
+    throw JournalError("journal: " + path_ +
+                       " is poisoned after an unrecoverable append failure; "
+                       "refusing further appends");
+  }
+
+  // Restores the file to the last durable block after a failed append
+  // so the failure never leaves a torn block in the middle of the
+  // stream. Poisons the journal if the rollback itself fails.
+  const auto rollback = [&] {
+    if (::ftruncate(fd_, static_cast<off_t>(end_)) != 0 ||
+        ::lseek(fd_, static_cast<off_t>(end_), SEEK_SET) < 0) {
+      poisoned_ = true;
+      return;
+    }
+    // Best effort: make the rollback itself durable. If this fails the
+    // tail may persist partially — which the resume-time torn-tail scan
+    // handles, because the tail is still the only invalid region.
+    ::fdatasync(fd_);
+  };
+
+  try {
+    write_block(fd_, path_, payload);
+  } catch (const JournalError&) {
+    rollback();
+    throw;
+  }
   // The replication is only durable once the record is on stable
   // storage; a crash after this sync never re-runs it. fdatasync
   // suffices: the file size is metadata required to read the appended
@@ -230,7 +262,14 @@ void SweepJournal::append(std::uint64_t point, std::uint64_t rep,
   // (mtime and friends) is exactly the part the resume scan never
   // looks at, and on journalled filesystems that saves a second
   // metadata write per record.
-  if (::fdatasync(fd_) != 0) throw_io("fdatasync failed for", path_);
+  if (io::faultable_fdatasync(io::FaultOp::kJournalSync, fd_) != 0) {
+    // The record hit the file but was never made durable; drop it so the
+    // journal keeps exactly the replications reported as committed.
+    rollback();
+    throw_io("fdatasync failed for", path_);
+  }
+  end_ += 4 + payload.size();
+  if (observer_) observer_(point, rep);
 }
 
 }  // namespace btsc::runner

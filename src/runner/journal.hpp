@@ -30,6 +30,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <stdexcept>
@@ -95,9 +96,21 @@ class SweepJournal {
   std::size_t completed_count() const { return loaded_.size(); }
 
   /// Durably appends one completed replication: the record is written
-  /// with one write() and fsync'd before this returns.
+  /// with one write() and fsync'd before this returns. If the write or
+  /// sync fails the journal truncates back to the last durable record
+  /// before throwing, so a failed append never leaves a torn block in
+  /// the MIDDLE of the file (the torn-tail invariant survives partial
+  /// failures, not just crashes). If even that truncation fails the
+  /// journal is poisoned: every later append throws immediately.
   void append(std::uint64_t point, std::uint64_t rep, std::uint64_t seed,
               const std::vector<std::uint8_t>& sample);
+
+  /// Observer invoked (under the journal lock) after each successful,
+  /// durable append with (point, replication). The sweep service uses
+  /// this to stream per-replication progress; null disables it.
+  void set_observer(std::function<void(std::uint64_t, std::uint64_t)> fn) {
+    observer_ = std::move(fn);
+  }
 
   const std::string& path() const { return path_; }
 
@@ -105,6 +118,9 @@ class SweepJournal {
   std::string path_;
   int fd_ = -1;
   std::mutex mu_;
+  std::uint64_t end_ = 0;  // offset one past the last durable block
+  bool poisoned_ = false;
+  std::function<void(std::uint64_t, std::uint64_t)> observer_;
   std::map<std::pair<std::uint64_t, std::uint64_t>, Record> loaded_;
 };
 

@@ -20,6 +20,7 @@
 #include "core/report.hpp"
 #include "core/system.hpp"
 #include "runner/sweep.hpp"
+#include "runner/warmup_store.hpp"
 #include "sim/checkpoint_store.hpp"
 #include "sim/environment.hpp"
 #include "stats/accumulator.hpp"
@@ -112,14 +113,6 @@ struct BackoffPoint {
 
 // ---- checkpoint/fork staging -----------------------------------------------
 
-/// A point's warm-up, frozen: the snapshot bytes plus the seed whose
-/// construction path produced the system (creation retries can perturb
-/// it), which the per-replication scaffold must replay.
-struct SystemImage {
-  std::vector<std::uint8_t> bytes;
-  std::uint64_t construction_seed = 0;
-};
-
 /// Little-endian construction-parameter blobs for checkpoint recipes:
 /// the point parameters the warm-up construction depends on, compared
 /// verbatim on load so a checkpoint from an edited point list is a cache
@@ -134,69 +127,6 @@ void blob_f64(std::vector<std::uint8_t>& b, double v) {
   b.resize(at + 8);
   std::memcpy(b.data() + at, &v, 8);
 }
-
-/// Durable side of the warm-up cache (--checkpoint-dir): spills each
-/// per-point warm-up image to a sim::CheckpointFile and loads it back in
-/// later processes. Strictly a cache: every failure path (missing file,
-/// corruption, stale version, recipe mismatch, write error) degrades to
-/// rebuilding the warm-up, with a warning for the non-miss cases.
-class WarmupStore {
- public:
-  WarmupStore(std::string dir, std::string scenario)
-      : dir_(std::move(dir)), scenario_(std::move(scenario)) {}
-
-  std::optional<SystemImage> try_load(
-      std::size_t point, std::uint64_t warm_seed,
-      const std::vector<std::uint8_t>& config) const {
-    const std::string path = path_for(point, warm_seed);
-    std::error_code ec;
-    if (!std::filesystem::exists(path, ec)) return std::nullopt;
-    try {
-      sim::CheckpointFile f = sim::load_checkpoint_file(path);
-      if (f.scenario != scenario_ || f.point_index != point ||
-          f.warm_seed != warm_seed || f.config != config) {
-        std::cerr << "btsc-sweep: checkpoint " << path
-                  << ": recipe mismatch; rebuilding warm-up\n";
-        return std::nullopt;
-      }
-      return SystemImage{std::move(f.snapshot), f.construction_seed};
-    } catch (const sim::SnapshotError& e) {
-      std::cerr << "btsc-sweep: checkpoint " << path << ": " << e.what()
-                << "; rebuilding warm-up\n";
-      return std::nullopt;
-    }
-  }
-
-  void save(std::size_t point, std::uint64_t warm_seed,
-            const std::vector<std::uint8_t>& config,
-            const SystemImage& image) const {
-    sim::CheckpointFile f;
-    f.scenario = scenario_;
-    f.point_index = point;
-    f.warm_seed = warm_seed;
-    f.construction_seed = image.construction_seed;
-    f.config = config;
-    f.snapshot = image.bytes;
-    try {
-      sim::write_checkpoint_file(path_for(point, warm_seed), f);
-    } catch (const sim::SnapshotError& e) {
-      std::cerr << "btsc-sweep: checkpoint spill failed: " << e.what()
-                << "\n";
-    }
-  }
-
- private:
-  std::string path_for(std::size_t point, std::uint64_t warm_seed) const {
-    char seed_hex[17];
-    std::snprintf(seed_hex, sizeof(seed_hex), "%016llx",
-                  static_cast<unsigned long long>(warm_seed));
-    return dir_ + "/" + scenario_ + "-p" + std::to_string(point) + "-" +
-           seed_hex + ".ckpt";
-  }
-
-  std::string dir_;
-  std::string scenario_;
-};
 
 /// The store for one scenario run, or null when --checkpoint-dir is not
 /// in play (the cache then stays purely in-memory). Creates the
@@ -323,9 +253,11 @@ std::vector<Sample> sweep_points(
     jc.staged_warmup = out.staged_warmup;
     journal =
         std::make_unique<SweepJournal>(req.journal_path, jc, req.resume);
+    if (req.on_commit) journal->set_observer(req.on_commit);
   }
   SweepExecution ex;
   ex.journal = journal.get();
+  ex.stop = req.stop;
 
   const auto t0 = std::chrono::steady_clock::now();
   const auto k0 = sim::Environment::global_scheduler_stats();
@@ -333,6 +265,7 @@ std::vector<Sample> sweep_points(
   const auto k1 = sim::Environment::global_scheduler_stats();
   out.quarantined = std::move(ex.quarantined);
   out.journal_skipped = ex.journal_skipped;
+  out.interrupted = ex.stopped;
   out.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -994,10 +927,6 @@ void write_result(const SweepResult& result, core::Reporter& reporter) {
   reporter.end();
 }
 
-namespace {
-
-/// JSON quarantine report: machine-readable enough for a driver script
-/// to retry or exclude the quarantined replications.
 std::string quarantine_report(const SweepResult& result) {
   std::string out = "{\"scenario\": \"" + result.id +
                     "\", \"base_seed\": " + std::to_string(result.base_seed) +
@@ -1024,6 +953,8 @@ std::string quarantine_report(const SweepResult& result) {
   out += "]}\n";
   return out;
 }
+
+namespace {
 
 std::unique_ptr<core::Reporter> make_reporter(const core::BenchArgs& args,
                                               std::ostream& os) {

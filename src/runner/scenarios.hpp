@@ -6,7 +6,9 @@
 // per-figure bench wrappers run; docs/SCENARIOS.md documents each entry.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -79,6 +81,15 @@ struct ScenarioRequest {
   /// Quarantine failing replications and keep sweeping (--keep-going);
   /// implied by rep_timeout_s/max_retries.
   bool keep_going = false;
+  /// Cooperative drain flag (the sweep service's SIGTERM path): when
+  /// non-null and set, the grid stops claiming new replications;
+  /// in-flight ones finish and journal, and the result comes back with
+  /// `interrupted` set instead of being publishable.
+  const std::atomic<bool>* stop = nullptr;
+  /// Per-replication commit stream: invoked with (point, replication)
+  /// after each replication is durably journaled. Only fires on
+  /// journaled runs (the journal IS the commit point). Null = none.
+  std::function<void(std::uint64_t, std::uint64_t)> on_commit;
 };
 
 /// A completed sweep: a titled table plus the metadata needed to
@@ -128,6 +139,10 @@ struct SweepResult {
   /// (resume bookkeeping; deliberately NOT reported in artifacts so a
   /// resumed artifact stays byte-identical to an uninterrupted one).
   std::size_t journal_skipped = 0;
+  /// True when a drain (ScenarioRequest::stop) cut the sweep short: the
+  /// rows are partial and the caller must NOT write a final artifact —
+  /// the journal holds the committed prefix for a later resume.
+  bool interrupted = false;
 
   /// Timed-queue health of the simulation kernels this sweep ran:
   /// sim::Environment scheduler counters summed over every replication
@@ -190,6 +205,10 @@ SweepResult run_scenario(const std::string& id_or_figure,
 
 /// Streams a completed sweep through a reporter backend (begin .. end).
 void write_result(const SweepResult& result, core::Reporter& reporter);
+
+/// JSON quarantine report: machine-readable enough for a driver (or the
+/// sweep service) to retry or exclude the quarantined replications.
+std::string quarantine_report(const SweepResult& result);
 
 /// Complete main() body for a figure bench: parses the shared BenchArgs
 /// flags (--seeds/--replications, --quick, --threads, --csv/--json,

@@ -25,11 +25,19 @@ int resolve_thread_count(int requested) {
 namespace detail {
 
 void run_task_grid(std::size_t total, int threads,
-                   const std::function<void(std::size_t)>& task) {
+                   const std::function<void(std::size_t)>& task,
+                   const std::atomic<bool>* stop) {
   if (total == 0) return;
 
+  const auto stopping = [stop] {
+    return stop != nullptr && stop->load(std::memory_order_relaxed);
+  };
+
   if (threads <= 1) {
-    for (std::size_t i = 0; i < total; ++i) task(i);
+    for (std::size_t i = 0; i < total; ++i) {
+      if (stopping()) return;
+      task(i);
+    }
     return;
   }
 
@@ -39,7 +47,7 @@ void run_task_grid(std::size_t total, int threads,
   std::mutex error_mutex;
 
   auto worker = [&] {
-    while (!failed.load(std::memory_order_relaxed)) {
+    while (!failed.load(std::memory_order_relaxed) && !stopping()) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= total) return;
       try {
@@ -118,9 +126,15 @@ void settle_locked(SupShared& sh) {
 /// attempts with exponential backoff, and exit immediately if the
 /// supervisor abandoned the current task (a replacement worker has
 /// already been spawned — continuing would double the pool).
+bool sup_stopping(const SupShared& sh) {
+  return sh.cfg.stop != nullptr &&
+         sh.cfg.stop->load(std::memory_order_relaxed);
+}
+
 void supervised_worker(const std::shared_ptr<SupShared>& sh,
                        std::size_t worker_id) {
   for (;;) {
+    if (sup_stopping(*sh)) return;
     const std::size_t i = sh->next.fetch_add(1, std::memory_order_relaxed);
     if (i >= sh->total) return;
 
@@ -174,8 +188,12 @@ void supervised_worker(const std::shared_ptr<SupShared>& sh,
             Clock::now() + std::chrono::duration<double, std::milli>(wait_ms);
         while (Clock::now() < until &&
                !sh->cancel[i].load(std::memory_order_relaxed)) {
+          // A drain aborts the backoff: the task stays kPending and
+          // unsettled; a resumed run simply retries it from scratch.
+          if (sup_stopping(*sh)) return;
           std::this_thread::sleep_for(std::chrono::milliseconds(1));
         }
+        if (sup_stopping(*sh)) return;
         continue;
       }
       sh->state[i] = SupShared::St::kFailed;
@@ -229,8 +247,26 @@ void run_supervised_grid(std::size_t total, const SupervisorConfig& cfg,
   {
     std::unique_lock<std::mutex> lock(sh->mu);
     while (sh->settled < sh->total) {
+      if (sup_stopping(*sh)) {
+        // Drain: let running attempts finish (they still commit and
+        // journal), but stop waiting on tasks no worker will ever claim.
+        bool any_running = false;
+        for (std::size_t i = 0; i < sh->total; ++i) {
+          if (sh->state[i] == SupShared::St::kRunning) {
+            any_running = true;
+            break;
+          }
+        }
+        if (!any_running) break;
+      }
       if (!watchdog) {
-        sh->cv.wait(lock);
+        // A bounded wait (instead of a bare cv.wait) keeps the drain
+        // check live even when no settle ever arrives.
+        if (cfg.stop != nullptr) {
+          sh->cv.wait_for(lock, std::chrono::milliseconds(10));
+        } else {
+          sh->cv.wait(lock);
+        }
         continue;
       }
       sh->cv.wait_for(lock, std::chrono::milliseconds(2));

@@ -137,11 +137,21 @@ struct SweepExecution {
   /// When set, completed replications are appended to this journal and
   /// already-journaled ones are replayed instead of re-run.
   SweepJournal* journal = nullptr;
+  /// Cooperative drain flag (e.g. the sweep service's SIGTERM handler).
+  /// When non-null and set, workers stop CLAIMING new replications;
+  /// attempts already in flight run to completion and journal normally,
+  /// so a drained, journaled run resumes without re-running committed
+  /// work.
+  const std::atomic<bool>* stop = nullptr;
   /// Replications the supervisor quarantined, sorted by (point,
   /// replication). Empty for unsupervised runs (they abort on failure).
   std::vector<QuarantineEntry> quarantined;
   /// Replications replayed from the journal instead of executed.
   std::size_t journal_skipped = 0;
+  /// True when `stop` cut the run short (some replications never ran):
+  /// the merged result is partial and must not be published as a final
+  /// artifact. False if the stop arrived after the grid had finished.
+  bool stopped = false;
 };
 
 /// Resolves the effective worker count: `requested` if positive, else the
@@ -152,9 +162,12 @@ namespace detail {
 
 /// Runs `task(i)` for every i in [0, total) on `threads` workers pulling
 /// from a shared atomic counter. Rethrows the first task exception on the
-/// calling thread after all workers have stopped. Defined in sweep.cpp.
+/// calling thread after all workers have stopped. When `stop` is non-null
+/// and becomes set, workers finish their current task and claim no more.
+/// Defined in sweep.cpp.
 void run_task_grid(std::size_t total, int threads,
-                   const std::function<void(std::size_t)>& task);
+                   const std::function<void(std::size_t)>& task,
+                   const std::atomic<bool>* stop = nullptr);
 
 /// Handed to a supervised task attempt: the only way to publish results.
 /// commit() runs `publish` under the supervisor lock iff the task has
@@ -194,6 +207,8 @@ struct SupervisorConfig {
   double rep_timeout_s = 0.0;
   int max_retries = 0;
   double retry_backoff_ms = 10.0;
+  /// Cooperative drain flag (see SweepExecution::stop).
+  const std::atomic<bool>* stop = nullptr;
 };
 
 /// Supervised grid executor: runs `attempt(i, token)` for every i in
@@ -320,9 +335,21 @@ class SweepRunner {
     }
 
     if (!options_.supervised()) {
-      run_plain(points, body, *slots, pending, make_rep, ex.journal);
+      run_plain(points, body, *slots, pending, make_rep, ex.journal,
+                ex.stop);
     } else {
       run_supervised(points, body, slots, pending, make_rep, ex);
+    }
+
+    // A drain only "stopped" the run if replications are actually
+    // missing; a stop that raced the natural end of the grid changes
+    // nothing and the result stays publishable.
+    if (ex.stop != nullptr && ex.stop->load(std::memory_order_relaxed)) {
+      std::size_t have = 0;
+      for (const auto& s : *slots) {
+        if (s.has_value()) ++have;
+      }
+      ex.stopped = have + ex.quarantined.size() < total;
     }
 
     // Deterministic reduction: fold each point's replications in index
@@ -368,7 +395,8 @@ class SweepRunner {
   void run_plain(const std::vector<Point>& points, const Body& body,
                  std::vector<std::optional<Sample>>& slots,
                  const std::vector<std::size_t>& pending,
-                 const MakeRep& make_rep, SweepJournal* journal) const {
+                 const MakeRep& make_rep, SweepJournal* journal,
+                 const std::atomic<bool>* stop) const {
     detail::run_task_grid(
         pending.size(), resolve_thread_count(options_.threads),
         [&](std::size_t k) {
@@ -390,7 +418,8 @@ class SweepRunner {
             throw std::runtime_error(replication_context(rep) +
                                      ": unknown error");
           }
-        });
+        },
+        stop);
   }
 
   template <class MakeRep>
@@ -412,6 +441,7 @@ class SweepRunner {
     cfg.rep_timeout_s = options_.rep_timeout_s;
     cfg.max_retries = options_.max_retries;
     cfg.retry_backoff_ms = options_.retry_backoff_ms;
+    cfg.stop = ex.stop;
 
     auto pending_copy = std::make_shared<const std::vector<std::size_t>>(
         pending);

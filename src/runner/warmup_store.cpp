@@ -1,0 +1,118 @@
+#include "runner/warmup_store.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <utility>
+
+#include "sim/checkpoint_store.hpp"
+
+namespace btsc::runner {
+namespace {
+
+struct StatCounters {
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> misses{0};
+  std::atomic<std::uint64_t> spills{0};
+  std::atomic<std::uint64_t> spill_failures{0};
+};
+
+StatCounters& counters() {
+  static StatCounters c;
+  return c;
+}
+
+}  // namespace
+
+WarmupStoreStats warmup_store_stats() {
+  auto& c = counters();
+  WarmupStoreStats s;
+  s.hits = c.hits.load(std::memory_order_relaxed);
+  s.misses = c.misses.load(std::memory_order_relaxed);
+  s.spills = c.spills.load(std::memory_order_relaxed);
+  s.spill_failures = c.spill_failures.load(std::memory_order_relaxed);
+  return s;
+}
+
+void reset_warmup_store_stats() {
+  auto& c = counters();
+  c.hits.store(0, std::memory_order_relaxed);
+  c.misses.store(0, std::memory_order_relaxed);
+  c.spills.store(0, std::memory_order_relaxed);
+  c.spill_failures.store(0, std::memory_order_relaxed);
+}
+
+WarmupStore::WarmupStore(std::string dir, std::string scenario)
+    : dir_(std::move(dir)), scenario_(std::move(scenario)) {}
+
+std::optional<SystemImage> WarmupStore::try_load(
+    std::size_t point, std::uint64_t warm_seed,
+    const std::vector<std::uint8_t>& config) const {
+  const std::string path = path_for(point, warm_seed);
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) {
+    counters().misses.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  try {
+    sim::CheckpointFile f = sim::load_checkpoint_file(path);
+    if (f.scenario != scenario_ || f.point_index != point ||
+        f.warm_seed != warm_seed || f.config != config) {
+      std::cerr << "btsc: checkpoint " << path
+                << ": recipe mismatch; rebuilding warm-up\n";
+      counters().misses.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    // Mark the hit for mtime-ordered LRU eviction. Best effort: an
+    // unwritable directory still serves hits, it just can't re-order
+    // them.
+    ::utimensat(AT_FDCWD, path.c_str(), nullptr, 0);
+    counters().hits.fetch_add(1, std::memory_order_relaxed);
+    return SystemImage{std::move(f.snapshot), f.construction_seed};
+  } catch (const sim::SnapshotError& e) {
+    std::cerr << "btsc: checkpoint " << path << ": " << e.what()
+              << "; rebuilding warm-up\n";
+    counters().misses.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+}
+
+void WarmupStore::save(std::size_t point, std::uint64_t warm_seed,
+                       const std::vector<std::uint8_t>& config,
+                       const SystemImage& image) const {
+  if (disabled_.load(std::memory_order_relaxed)) return;
+  sim::CheckpointFile f;
+  f.scenario = scenario_;
+  f.point_index = point;
+  f.warm_seed = warm_seed;
+  f.construction_seed = image.construction_seed;
+  f.config = config;
+  f.snapshot = image.bytes;
+  try {
+    sim::write_checkpoint_file(path_for(point, warm_seed), f);
+    counters().spills.fetch_add(1, std::memory_order_relaxed);
+  } catch (const sim::SnapshotError& e) {
+    counters().spill_failures.fetch_add(1, std::memory_order_relaxed);
+    disabled_.store(true, std::memory_order_relaxed);
+    std::call_once(warn_once_, [&] {
+      std::cerr << "btsc: checkpoint spill to " << dir_
+                << " failed (" << e.what()
+                << "); falling back to in-memory warm-ups for the rest of "
+                   "this run\n";
+    });
+  }
+}
+
+std::string WarmupStore::path_for(std::size_t point,
+                                  std::uint64_t warm_seed) const {
+  char seed_hex[17];
+  std::snprintf(seed_hex, sizeof(seed_hex), "%016llx",
+                static_cast<unsigned long long>(warm_seed));
+  return dir_ + "/" + scenario_ + "-p" + std::to_string(point) + "-" +
+         seed_hex + ".ckpt";
+}
+
+}  // namespace btsc::runner

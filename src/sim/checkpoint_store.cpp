@@ -4,8 +4,11 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstring>
+
+#include "io/fault.hpp"
 
 namespace btsc::sim {
 namespace {
@@ -79,12 +82,21 @@ CheckpointFile decode_checkpoint_file(const std::vector<std::uint8_t>& bytes) {
 void write_checkpoint_file(const std::string& path,
                            const CheckpointFile& file) {
   const std::vector<std::uint8_t> bytes = encode_checkpoint_file(file);
-  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  // The temp name must be unique per WRITER, not per process: two sweep
+  // workers spilling the same point concurrently (same pid, same target
+  // path) must not rename each other's temp away, so a per-process
+  // sequence number joins the pid.
+  static std::atomic<std::uint64_t> tmp_seq{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(tmp_seq.fetch_add(
+                              1, std::memory_order_relaxed));
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) throw_io("cannot create", tmp);
   std::size_t off = 0;
   while (off < bytes.size()) {
-    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    const ssize_t n = io::faultable_write(io::FaultOp::kCheckpointWrite, fd,
+                                          bytes.data() + off,
+                                          bytes.size() - off);
     if (n < 0) {
       if (errno == EINTR) continue;
       ::close(fd);
@@ -93,7 +105,7 @@ void write_checkpoint_file(const std::string& path,
     }
     off += static_cast<std::size_t>(n);
   }
-  if (::fsync(fd) != 0) {
+  if (io::faultable_fsync(io::FaultOp::kCheckpointSync, fd) != 0) {
     ::close(fd);
     ::unlink(tmp.c_str());
     throw_io("fsync failed for", tmp);
@@ -102,7 +114,8 @@ void write_checkpoint_file(const std::string& path,
     ::unlink(tmp.c_str());
     throw_io("close failed for", tmp);
   }
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+  if (io::faultable_rename(io::FaultOp::kCheckpointRename, tmp.c_str(),
+                           path.c_str()) != 0) {
     ::unlink(tmp.c_str());
     throw_io("rename failed onto", path);
   }

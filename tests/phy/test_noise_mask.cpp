@@ -7,6 +7,8 @@
 // removing the "BER == 0" clause from the burst acceptance test.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <array>
 #include <cstdint>
 #include <cstdio>
@@ -357,7 +359,10 @@ std::pair<std::string, std::string> traced_pair(ChannelConfig cfg,
                                                 Script script) {
   std::string out[2];
   for (int pass = 0; pass < 2; ++pass) {
+    // Unique per process: ctest runs each traced TEST() as its own
+    // process, in parallel, and they must not clobber each other's VCDs.
     const std::string path = ::testing::TempDir() + "btsc_noise_mask_" +
+                             std::to_string(::getpid()) + "_" +
                              std::to_string(pass) + ".vcd";
     {
       Environment env(17);

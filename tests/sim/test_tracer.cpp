@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -25,7 +27,10 @@ std::string slurp(const std::string& path) {
 
 class VcdTracerTest : public ::testing::Test {
  protected:
-  std::string path_ = ::testing::TempDir() + "btsc_tracer_test.vcd";
+  // Unique per process: ctest runs each TEST_F as its own process, in
+  // parallel, and they must not clobber each other's VCD file.
+  std::string path_ = ::testing::TempDir() + "btsc_tracer_test_" +
+                      std::to_string(::getpid()) + ".vcd";
   void TearDown() override { std::remove(path_.c_str()); }
 };
 
